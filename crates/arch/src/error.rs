@@ -1,0 +1,61 @@
+//! Error type for accelerator construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing an accelerator model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// Grid dimensions must both be at least 1.
+    EmptyGrid,
+    /// Systolic arrays need at least three columns (load column, compute
+    /// interior, store column).
+    SystolicTooNarrow {
+        /// Number of columns requested.
+        cols: usize,
+    },
+    /// The requested II exceeds the accelerator's configuration depth.
+    IiTooLarge {
+        /// Requested initiation interval.
+        ii: u32,
+        /// Maximum supported by the configuration memory.
+        max_ii: u32,
+    },
+    /// The requested II must be at least 1.
+    ZeroIi,
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::EmptyGrid => write!(f, "grid dimensions must be at least 1x1"),
+            ArchError::SystolicTooNarrow { cols } => {
+                write!(f, "systolic array needs at least 3 columns, got {cols}")
+            }
+            ArchError::IiTooLarge { ii, max_ii } => {
+                write!(f, "II {ii} exceeds configuration depth {max_ii}")
+            }
+            ArchError::ZeroIi => write!(f, "II must be at least 1"),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            ArchError::EmptyGrid,
+            ArchError::SystolicTooNarrow { cols: 2 },
+            ArchError::IiTooLarge { ii: 30, max_ii: 24 },
+            ArchError::ZeroIi,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

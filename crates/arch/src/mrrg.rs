@@ -1,0 +1,266 @@
+//! Modulo routing resource graph (MRRG).
+//!
+//! For a target initiation interval II, the accelerator's resources are
+//! replicated across II modulo time slots. Each PE contributes per slot:
+//!
+//! * one **FU slot** — executes an operation *or* routes one value
+//!   ("Each PE can do either compute or routing per cycle", paper §II-B),
+//! * `regs_per_pe` **register slots** — hold a value in place for a cycle.
+//!
+//! A value produced by `Fu(p)` at absolute cycle `t` can, at cycle `t+1`,
+//! be (a) consumed by a neighbouring FU, (b) routed onward through a
+//! neighbouring FU, or (c) written to one of `p`'s registers. Registers
+//! hold values and can drive the local FU or the outgoing links. Occupancy
+//! is always accounted at `t mod II`: the same physical slot repeats every
+//! II cycles.
+//!
+//! The MRRG is purely structural; the occupancy tables live in the mapper.
+
+use lisa_dfg::OpKind;
+
+use crate::{Accelerator, ArchError, PeId};
+
+/// One physical resource of the accelerator (before time replication).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The functional unit of a PE (compute or route-through).
+    Fu(PeId),
+    /// Register `reg` of a PE.
+    Reg(PeId, u8),
+}
+
+impl Resource {
+    /// The PE owning this resource.
+    pub fn pe(self) -> PeId {
+        match self {
+            Resource::Fu(p) | Resource::Reg(p, _) => p,
+        }
+    }
+
+    /// Whether this is a functional-unit resource.
+    pub fn is_fu(self) -> bool {
+        matches!(self, Resource::Fu(_))
+    }
+}
+
+/// The modulo routing resource graph for one `(accelerator, II)` pair.
+///
+/// # Example
+///
+/// ```
+/// use lisa_arch::{Accelerator, Mrrg, Resource, PeId};
+///
+/// # fn main() -> Result<(), lisa_arch::ArchError> {
+/// let acc = Accelerator::cgra("4x4", 4, 4);
+/// let mrrg = Mrrg::new(&acc, 2)?;
+/// // 16 PEs x (1 FU + 4 regs) x 2 slots.
+/// assert_eq!(mrrg.resource_count(), 16 * 5 * 2);
+/// // A value at a corner FU can move to 2 neighbours, itself, or 4 regs.
+/// assert_eq!(mrrg.moves_from(Resource::Fu(PeId::new(0))).len(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mrrg<'a> {
+    acc: &'a Accelerator,
+    ii: u32,
+}
+
+impl<'a> Mrrg<'a> {
+    /// Builds the MRRG for a target II.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `ii` is zero or exceeds the accelerator's configuration
+    /// depth ([`Accelerator::max_ii`]).
+    pub fn new(acc: &'a Accelerator, ii: u32) -> Result<Self, ArchError> {
+        if ii == 0 {
+            return Err(ArchError::ZeroIi);
+        }
+        if ii > acc.max_ii() {
+            return Err(ArchError::IiTooLarge {
+                ii,
+                max_ii: acc.max_ii(),
+            });
+        }
+        Ok(Mrrg { acc, ii })
+    }
+
+    /// The accelerator this MRRG was built for.
+    pub fn accelerator(&self) -> &Accelerator {
+        self.acc
+    }
+
+    /// The initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// The modulo slot of an absolute cycle.
+    pub fn slot(&self, t: u32) -> u32 {
+        t % self.ii
+    }
+
+    /// Resources per modulo slot: one FU plus the register file per PE.
+    pub fn resources_per_slot(&self) -> usize {
+        self.acc.pe_count() * (1 + self.acc.regs_per_pe())
+    }
+
+    /// Total number of (resource, slot) pairs.
+    pub fn resource_count(&self) -> usize {
+        self.resources_per_slot() * self.ii as usize
+    }
+
+    /// Dense index of a (resource, absolute time) pair, folding time into
+    /// its modulo slot. Used as the key of occupancy tables.
+    pub fn index_at(&self, r: Resource, t: u32) -> usize {
+        let slot = self.slot(t) as usize;
+        let base = slot * self.resources_per_slot();
+        let offset = match r {
+            Resource::Fu(p) => p.index(),
+            Resource::Reg(p, reg) => {
+                debug_assert!((reg as usize) < self.acc.regs_per_pe());
+                self.acc.pe_count() + p.index() * self.acc.regs_per_pe() + reg as usize
+            }
+        };
+        base + offset
+    }
+
+    /// Dense index of an FU at an absolute time.
+    pub fn fu_index_at(&self, pe: PeId, t: u32) -> usize {
+        self.index_at(Resource::Fu(pe), t)
+    }
+
+    /// Resources a value held at `r` in cycle `t` can occupy at `t + 1`.
+    ///
+    /// * From an FU: the FU of every outgoing neighbour, the same FU
+    ///   (re-route locally), or any local register.
+    /// * From a register: the same register (hold), the local FU, or a
+    ///   neighbour's FU (registers drive the output links).
+    pub fn moves_from(&self, r: Resource) -> Vec<Resource> {
+        let mut out = Vec::new();
+        match r {
+            Resource::Fu(p) => {
+                for &q in self.acc.neighbors(p) {
+                    out.push(Resource::Fu(q));
+                }
+                out.push(Resource::Fu(p));
+                for reg in 0..self.acc.regs_per_pe() {
+                    out.push(Resource::Reg(p, reg as u8));
+                }
+            }
+            Resource::Reg(p, reg) => {
+                out.push(Resource::Reg(p, reg));
+                out.push(Resource::Fu(p));
+                for &q in self.acc.neighbors(p) {
+                    out.push(Resource::Fu(q));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether a value held at `r` in cycle `t` can be consumed as an
+    /// operand by the FU of `dest` in cycle `t + 1`.
+    pub fn can_consume(&self, r: Resource, dest: PeId) -> bool {
+        let p = r.pe();
+        p == dest || self.acc.linked(p, dest)
+    }
+
+    /// Whether an operation may be placed on the FU of `pe` (capability
+    /// check; slot availability is the mapper's concern).
+    pub fn placeable(&self, pe: PeId, op: OpKind) -> bool {
+        self.acc.supports(pe, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_ii() {
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        assert_eq!(Mrrg::new(&acc, 0).unwrap_err(), ArchError::ZeroIi);
+        assert!(matches!(
+            Mrrg::new(&acc, 25).unwrap_err(),
+            ArchError::IiTooLarge { .. }
+        ));
+        assert!(Mrrg::new(&acc, 24).is_ok());
+    }
+
+    #[test]
+    fn index_is_dense_and_unique() {
+        let acc = Accelerator::cgra("3x3", 3, 3).with_regs_per_pe(2);
+        let mrrg = Mrrg::new(&acc, 3).unwrap();
+        let mut seen = vec![false; mrrg.resource_count()];
+        for t in 0..3 {
+            for p in 0..9 {
+                let pe = PeId::new(p);
+                for r in std::iter::once(Resource::Fu(pe))
+                    .chain((0..2).map(|i| Resource::Reg(pe, i)))
+                {
+                    let idx = mrrg.index_at(r, t);
+                    assert!(idx < mrrg.resource_count());
+                    assert!(!seen[idx], "index {idx} reused");
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn time_folds_modulo_ii() {
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        let mrrg = Mrrg::new(&acc, 3).unwrap();
+        let r = Resource::Fu(PeId::new(5));
+        assert_eq!(mrrg.index_at(r, 1), mrrg.index_at(r, 4));
+        assert_ne!(mrrg.index_at(r, 1), mrrg.index_at(r, 2));
+    }
+
+    #[test]
+    fn moves_from_fu() {
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        let mrrg = Mrrg::new(&acc, 1).unwrap();
+        // Interior PE: 4 neighbours + self + 4 regs.
+        let m = mrrg.moves_from(Resource::Fu(PeId::new(5)));
+        assert_eq!(m.len(), 9);
+        assert!(m.contains(&Resource::Fu(PeId::new(5))));
+        assert!(m.contains(&Resource::Reg(PeId::new(5), 3)));
+    }
+
+    #[test]
+    fn moves_from_reg() {
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        let mrrg = Mrrg::new(&acc, 1).unwrap();
+        let m = mrrg.moves_from(Resource::Reg(PeId::new(0), 0));
+        // hold + local FU + 2 corner neighbours.
+        assert_eq!(m.len(), 4);
+        assert!(m.contains(&Resource::Reg(PeId::new(0), 0)));
+        assert!(m.contains(&Resource::Fu(PeId::new(0))));
+    }
+
+    #[test]
+    fn consume_adjacency() {
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        let mrrg = Mrrg::new(&acc, 2).unwrap();
+        // Same PE.
+        assert!(mrrg.can_consume(Resource::Reg(PeId::new(5), 0), PeId::new(5)));
+        // Linked neighbour.
+        assert!(mrrg.can_consume(Resource::Fu(PeId::new(5)), PeId::new(6)));
+        // Distant PE.
+        assert!(!mrrg.can_consume(Resource::Fu(PeId::new(0)), PeId::new(15)));
+    }
+
+    #[test]
+    fn systolic_moves_are_directional() {
+        let acc = Accelerator::systolic("sys", 3, 3);
+        let mrrg = Mrrg::new(&acc, 1).unwrap();
+        let mid = PeId::new(4); // (1,1)
+        let m = mrrg.moves_from(Resource::Fu(mid));
+        // right, up, down, self, 1 reg = 5; no left.
+        assert_eq!(m.len(), 5);
+        assert!(!m.contains(&Resource::Fu(PeId::new(3)))); // left of (1,1)
+    }
+}

@@ -1,0 +1,71 @@
+//! Processing element identifiers and grid coordinates.
+
+use std::fmt;
+
+/// Identifier of a processing element, dense in `0..pe_count`.
+///
+/// The id encodes row-major position: `id = row * cols + col`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeId(u32);
+
+impl PeId {
+    /// Creates a PE id from a raw index.
+    pub fn new(index: usize) -> Self {
+        PeId(u32::try_from(index).expect("PE index fits in u32"))
+    }
+
+    /// Raw index of this PE.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+/// A (row, column) grid coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Row, top to bottom.
+    pub row: usize,
+    /// Column, left to right.
+    pub col: usize,
+}
+
+impl Coord {
+    /// Manhattan distance between two coordinates — the spatial distance
+    /// metric the paper uses for 2D mesh accelerators (§III-A).
+    pub fn manhattan(self, other: Coord) -> u32 {
+        (self.row.abs_diff(other.row) + self.col.abs_diff(other.col)) as u32
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord { row: 0, col: 0 };
+        let b = Coord { row: 2, col: 3 };
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(b.manhattan(a), 5);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn pe_id_roundtrip() {
+        let id = PeId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "pe7");
+    }
+}

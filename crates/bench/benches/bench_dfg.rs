@@ -1,0 +1,42 @@
+//! Criterion benches for DFG construction and analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lisa_dfg::{analysis, polybench, random, same_level, RandomDfgConfig};
+
+fn bench_polybench_build(c: &mut Criterion) {
+    c.bench_function("dfg/build_all_kernels", |b| {
+        b.iter(|| std::hint::black_box(polybench::all_kernels()))
+    });
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let dfg = polybench::kernel("syr2k").unwrap();
+    c.bench_function("dfg/asap_syr2k", |b| {
+        b.iter(|| std::hint::black_box(analysis::asap(&dfg)))
+    });
+    c.bench_function("dfg/ancestors_syr2k", |b| {
+        b.iter(|| std::hint::black_box(analysis::ancestor_sets(&dfg)))
+    });
+    c.bench_function("dfg/dummy_edges_syr2k", |b| {
+        b.iter(|| std::hint::black_box(same_level::dummy_edges_annotated(&dfg)))
+    });
+}
+
+fn bench_random_generation(c: &mut Criterion) {
+    let cfg = RandomDfgConfig::default();
+    let mut seed = 0u64;
+    c.bench_function("dfg/random_generate", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            std::hint::black_box(random::generate_random_dfg(&cfg, seed))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_polybench_build,
+    bench_analyses,
+    bench_random_generation
+);
+criterion_main!(benches);

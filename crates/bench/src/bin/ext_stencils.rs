@@ -1,0 +1,29 @@
+//! Extension experiment: workload classes beyond the paper's twelve
+//! kernels — stencils (jacobi-1d/2d), a fused rank-1-update (gemver), and
+//! a triangular solve with division (trisolv). Checks that the trained
+//! label models generalise to structurally different applications without
+//! retraining (the paper's portability story is per-*accelerator*, not
+//! per-application).
+
+use lisa_bench::Harness;
+use lisa_dfg::polybench;
+
+fn main() {
+    let harness = Harness::from_env();
+    let acc = Harness::architecture("4x4");
+    let lisa = harness.train_lisa(&acc);
+
+    println!();
+    println!("Extension: unseen workload classes on 4x4 (II; 0 = unmapped)");
+    println!("{:<12} {:>6} {:>6}", "kernel", "SA", "LISA");
+    for dfg in polybench::extra_kernels() {
+        let sa = harness.median_sa(&dfg, &acc);
+        let (l, _) = lisa.map_capped(&dfg, &acc, harness.ii_cap());
+        println!(
+            "{:<12} {:>6} {:>6}",
+            dfg.name(),
+            sa.ii.unwrap_or(0),
+            l.ii.unwrap_or(0)
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 10 — power efficiency (MOPS/W normalised to LISA) of ILP, SA,
+//! and LISA on the 3×3 and 4×4 baseline CGRAs (paper §VI-A).
+//!
+//! The power numbers come from the analytical activity-based model
+//! (`lisa_arch::power`; see DESIGN.md "Substitutions"), so only the
+//! *relative* efficiencies are meaningful — which is exactly what the
+//! paper's normalised figure reports.
+
+use lisa_arch::power::PowerModel;
+use lisa_bench::{CaseResult, Harness};
+
+fn main() {
+    let harness = Harness::from_env();
+    let pm = PowerModel::default();
+
+    for key in ["3x3", "4x4"] {
+        let acc = Harness::architecture(key);
+        let lisa = harness.train_lisa(&acc);
+        println!();
+        println!("Figure 10 ({key} baseline CGRA): MOPS/W normalised to LISA");
+        println!(
+            "{:<12} {:>8} {:>8} {:>8}",
+            "benchmark", "ILP", "SA", "LISA"
+        );
+        let mut cases: Vec<CaseResult> = Vec::new();
+        let mut sa_ratios: Vec<f64> = Vec::new();
+        for dfg in lisa_dfg::polybench::all_kernels() {
+            let case = harness.run_case(&dfg, &acc, &lisa);
+            let eff = |o: &lisa_mapper::MappingOutcome| o.mops_per_watt(&acc, &pm);
+            let lisa_eff = eff(&case.lisa);
+            let norm = |v: Option<f64>| match (v, lisa_eff) {
+                (Some(x), Some(l)) if l > 0.0 => format!("{:>8.2}", x / l),
+                _ => format!("{:>8}", "-"),
+            };
+            println!(
+                "{:<12} {} {} {:>8}",
+                case.benchmark,
+                norm(eff(&case.ilp)),
+                norm(eff(&case.sa)),
+                if lisa_eff.is_some() { "1.00" } else { "-" }
+            );
+            if let (Some(s), Some(l)) = (eff(&case.sa), lisa_eff) {
+                if s > 0.0 {
+                    sa_ratios.push(l / s);
+                }
+            }
+            cases.push(case);
+        }
+        if !sa_ratios.is_empty() {
+            let avg = sa_ratios.iter().sum::<f64>() / sa_ratios.len() as f64;
+            println!(
+                "LISA vs SA average power-efficiency advantage: {avg:.2}x \
+                 (paper: 1.58x on 3x3, 1.4x on 4x4)"
+            );
+        }
+        let (ilp, sa, lisa_n) = lisa_bench::tables::mapped_counts(&cases);
+        println!(
+            "mapped: ILP {ilp}/{n}  SA {sa}/{n}  LISA {lisa_n}/{n}",
+            n = cases.len()
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 11 — compilation-time comparison on the 3×3 and 4×4 baseline
+//! CGRAs (paper §VI-A). Failures (marked `*`) report the termination time,
+//! exactly as the paper does.
+
+use lisa_bench::{tables, CaseResult, Harness};
+
+fn main() {
+    let harness = Harness::from_env();
+    for key in ["3x3", "4x4"] {
+        let acc = Harness::architecture(key);
+        let lisa = harness.train_lisa(&acc);
+        println!();
+        println!("Figure 11 ({key} baseline CGRA): compilation time");
+        println!(
+            "{:<12} {:>10} {:>10} {:>10}",
+            "benchmark", "ILP", "SA", "LISA"
+        );
+        let mut cases: Vec<CaseResult> = Vec::new();
+        for dfg in lisa_dfg::polybench::all_kernels() {
+            let case = harness.run_case(&dfg, &acc, &lisa);
+            println!("{}", tables::time_row(&case));
+            cases.push(case);
+        }
+        let vs_ilp = tables::geomean_speedup(&cases, |c| c.ilp.compile_time);
+        let vs_sa = tables::geomean_speedup(&cases, |c| c.sa.compile_time);
+        println!(
+            "LISA compilation-time reduction (geomean): {vs_ilp:.0}x vs ILP, \
+             {vs_sa:.0}x vs SA (paper: 594x/17x on 3x3, 724x/12x on 4x4)"
+        );
+    }
+}

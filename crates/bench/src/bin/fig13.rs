@@ -1,0 +1,58 @@
+//! Figure 13 — movement budget vs. guidance (paper §VI-C): vanilla SA,
+//! SA-M (10× movements per temperature), and LISA on the 4×4 baseline
+//! CGRA, for both the original and the unrolled PolyBench DFGs.
+
+use lisa_bench::Harness;
+use lisa_dfg::polybench;
+use lisa_mapper::SaParams;
+
+fn main() {
+    let harness = Harness::from_env();
+    let acc = Harness::architecture("4x4");
+    let lisa = harness.train_lisa(&acc);
+
+    let mut benches = polybench::all_kernels();
+    benches.extend(polybench::unrolled_kernels(&polybench::UNROLLED_4X4_NAMES));
+
+    println!();
+    println!("Figure 13 (4x4 baseline CGRA): SA vs SA-M (10x movements) vs LISA");
+    println!(
+        "{:<14} {:>6} {:>6} {:>6}",
+        "benchmark", "SA", "SA-M", "LISA"
+    );
+    let sa_m_params = SaParams {
+        moves_per_temp: harness.sa_params().moves_per_temp * 10,
+        ..harness.sa_params()
+    };
+    let mut counts = (0usize, 0usize, 0usize);
+    let mut times = (0.0f64, 0.0f64, 0.0f64);
+    let total = benches.len();
+    for dfg in &benches {
+        let sa = harness.median_sa(dfg, &acc);
+        let sa_m = harness.median_sa_with(dfg, &acc, &sa_m_params);
+        let (lisa_outcome, _) = lisa.map_capped(dfg, &acc, harness.ii_cap());
+        println!(
+            "{:<14} {:>6} {:>6} {:>6}",
+            dfg.name(),
+            sa.ii.unwrap_or(0),
+            sa_m.ii.unwrap_or(0),
+            lisa_outcome.ii.unwrap_or(0)
+        );
+        counts.0 += usize::from(sa.mapped());
+        counts.1 += usize::from(sa_m.mapped());
+        counts.2 += usize::from(lisa_outcome.mapped());
+        times.0 += sa.compile_time.as_secs_f64();
+        times.1 += sa_m.compile_time.as_secs_f64();
+        times.2 += lisa_outcome.compile_time.as_secs_f64();
+    }
+    println!(
+        "mapped: SA {}/{total}  SA-M {}/{total}  LISA {}/{total}",
+        counts.0, counts.1, counts.2
+    );
+    // The movement budget is not free: the paper's point is that guidance,
+    // not more random movements, is the scalable lever.
+    println!(
+        "total compile time: SA {:.1}s  SA-M {:.1}s  LISA {:.1}s",
+        times.0, times.1, times.2
+    );
+}

@@ -1,0 +1,99 @@
+//! Figure 9 — mapping quality (II) of ILP, SA, and LISA across the six
+//! architectures (paper §VI-A).
+//!
+//! Usage: `fig9 [3x3|4x4|4x4-lr|4x4-lm|4x4-unroll|8x8-unroll|systolic|all]`
+//! (default `all`). An II of 0 means the method could not map the
+//! benchmark; the systolic variant prints ok/x as in Fig. 9g.
+
+use lisa_bench::{tables, CaseResult, Harness};
+use lisa_dfg::{polybench, Dfg};
+
+fn benchmarks_for(variant: &str) -> Vec<Dfg> {
+    match variant {
+        "4x4-unroll" => polybench::unrolled_kernels(&polybench::UNROLLED_4X4_NAMES),
+        "8x8-unroll" => polybench::unrolled_kernels(&polybench::UNROLLED_8X8_NAMES),
+        "systolic" => polybench::all_cores(),
+        _ => polybench::all_kernels(),
+    }
+}
+
+fn arch_key_for(variant: &str) -> &str {
+    match variant {
+        "4x4-unroll" => "4x4",
+        "8x8-unroll" => "8x8",
+        other => other,
+    }
+}
+
+fn subfigure(variant: &str) -> &str {
+    match variant {
+        "3x3" => "9a",
+        "4x4" => "9b",
+        "4x4-lr" => "9c",
+        "4x4-unroll" => "9d",
+        "4x4-lm" => "9e",
+        "8x8-unroll" => "9f",
+        "systolic" => "9g",
+        _ => "9",
+    }
+}
+
+fn run_variant(harness: &Harness, variant: &str) {
+    let acc = Harness::architecture(arch_key_for(variant));
+    let lisa = harness.train_lisa(&acc);
+    let benches = benchmarks_for(variant);
+
+    println!();
+    println!(
+        "Figure {}: {} on {} ({} benchmarks)",
+        subfigure(variant),
+        if variant == "systolic" {
+            "mapping success"
+        } else {
+            "II comparison"
+        },
+        acc.name(),
+        benches.len()
+    );
+    println!("{}", tables::ii_header());
+    let mut cases: Vec<CaseResult> = Vec::new();
+    for dfg in &benches {
+        let case = harness.run_case(dfg, &acc, &lisa);
+        if variant == "systolic" {
+            println!("{}", tables::tick_row(&case));
+        } else {
+            println!("{}", tables::ii_row(&case));
+        }
+        cases.push(case);
+    }
+    let (ilp, sa, lisa_n) = tables::mapped_counts(&cases);
+    println!(
+        "mapped: ILP {ilp}/{n}  SA {sa}/{n}  LISA {lisa_n}/{n}",
+        n = cases.len()
+    );
+}
+
+fn main() {
+    let variant = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let harness = Harness::from_env();
+    let variants = [
+        "3x3",
+        "4x4",
+        "4x4-lr",
+        "4x4-unroll",
+        "4x4-lm",
+        "8x8-unroll",
+        "systolic",
+    ];
+    if variant == "all" {
+        for v in variants {
+            run_variant(&harness, v);
+        }
+    } else {
+        assert!(
+            variants.contains(&variant.as_str()),
+            "unknown variant {variant:?}; expected one of {variants:?} or 'all'"
+        );
+        run_variant(&harness, &variant);
+    }
+}

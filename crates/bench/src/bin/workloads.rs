@@ -1,0 +1,41 @@
+//! Workload characterisation: structural statistics of every benchmark
+//! DFG used in the evaluation (full kernels, unrolled variants, and
+//! systolic compute cores). Useful for sanity-checking that the hand-built
+//! DFGs land in the ranges real CGRA compilers handle.
+
+use lisa_dfg::stats::DfgStats;
+use lisa_dfg::polybench;
+
+fn print_group(title: &str, dfgs: &[lisa_dfg::Dfg]) {
+    println!();
+    println!("{title}");
+    println!(
+        "{:<14} {:>5} {:>6} {:>4} {:>4} {:>7} {:>4} {:>4} {:>6}",
+        "kernel", "nodes", "edges", "rec", "cp", "fanout", "mem", "mul", "width"
+    );
+    for dfg in dfgs {
+        let s = DfgStats::of(dfg);
+        println!(
+            "{:<14} {:>5} {:>6} {:>4} {:>4} {:>3}/{:<3.1} {:>4} {:>4} {:>6}",
+            s.name,
+            s.nodes,
+            s.data_edges,
+            s.recurrence_edges,
+            s.critical_path,
+            s.max_out_degree,
+            s.mean_out_degree,
+            s.memory_ops,
+            s.multiplies,
+            s.max_level_width
+        );
+    }
+}
+
+fn main() {
+    print_group("PolyBench kernels (Fig. 9a/b/c/e)", &polybench::all_kernels());
+    print_group(
+        "Unrolled x2 (Fig. 9d/f)",
+        &polybench::unrolled_kernels(&polybench::UNROLLED_8X8_NAMES),
+    );
+    print_group("Systolic compute cores (Fig. 9g)", &polybench::all_cores());
+}

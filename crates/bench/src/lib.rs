@@ -1,0 +1,16 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§VI). See DESIGN.md §2 for the experiment → binary map.
+//!
+//! Each binary in `src/bin/` prints the same rows/series the paper
+//! reports. The [`Harness`] centralises the mapper budgets, the trained
+//! LISA instances, and the SA median-of-three protocol, so every figure
+//! compares the algorithms under identical machinery.
+//!
+//! Set `LISA_SCALE=paper` for full-scale runs (more training DFGs and
+//! epochs, longer ILP budgets); the default `quick` scale reproduces the
+//! qualitative shapes in minutes.
+
+pub mod harness;
+pub mod tables;
+
+pub use harness::{CaseResult, Harness, Scale};

@@ -1,0 +1,145 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! Conventions follow the paper's figures: an II of 0 means the method
+//! could not map the benchmark (Fig. 9 caption); the systolic figure uses
+//! ✓/✗ instead of II values.
+
+use std::time::Duration;
+
+use crate::CaseResult;
+
+/// Renders the Fig. 9 style header.
+pub fn ii_header() -> String {
+    format!("{:<12} {:>6} {:>6} {:>6}", "benchmark", "ILP", "SA", "LISA")
+}
+
+/// Renders one II row; unmapped methods print 0, as in the paper.
+pub fn ii_row(case: &CaseResult) -> String {
+    format!(
+        "{:<12} {:>6} {:>6} {:>6}",
+        case.benchmark,
+        case.ilp.ii.unwrap_or(0),
+        case.sa.ii.unwrap_or(0),
+        case.lisa.ii.unwrap_or(0)
+    )
+}
+
+/// Renders one success row for the systolic accelerator (Fig. 9g).
+pub fn tick_row(case: &CaseResult) -> String {
+    let mark = |mapped: bool| if mapped { "ok" } else { " x" };
+    format!(
+        "{:<12} {:>6} {:>6} {:>6}",
+        case.benchmark,
+        mark(case.ilp.mapped()),
+        mark(case.sa.mapped()),
+        mark(case.lisa.mapped())
+    )
+}
+
+/// Renders one compilation-time row (Fig. 11); failures are annotated with
+/// `*` (the paper uses the termination time as the compilation time).
+pub fn time_row(case: &CaseResult) -> String {
+    let fmt = |d: Duration, mapped: bool| {
+        let mark = if mapped { ' ' } else { '*' };
+        format!("{:>9.3}s{mark}", d.as_secs_f64())
+    };
+    format!(
+        "{:<12} {} {} {}",
+        case.benchmark,
+        fmt(case.ilp.compile_time, case.ilp.mapped()),
+        fmt(case.sa.compile_time, case.sa.mapped()),
+        fmt(case.lisa.compile_time, case.lisa.mapped())
+    )
+}
+
+/// Geometric-mean speedup of LISA's compilation time over another method
+/// (Fig. 11 reports "594x and 17x compilation time reduction").
+pub fn geomean_speedup(cases: &[CaseResult], other: impl Fn(&CaseResult) -> Duration) -> f64 {
+    if cases.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = cases
+        .iter()
+        .map(|c| {
+            let lisa = c.lisa.compile_time.as_secs_f64().max(1e-6);
+            (other(c).as_secs_f64().max(1e-6) / lisa).ln()
+        })
+        .sum();
+    (log_sum / cases.len() as f64).exp()
+}
+
+/// Counts mapped benchmarks per method, for the summary lines.
+pub fn mapped_counts(cases: &[CaseResult]) -> (usize, usize, usize) {
+    (
+        cases.iter().filter(|c| c.ilp.mapped()).count(),
+        cases.iter().filter(|c| c.sa.mapped()).count(),
+        cases.iter().filter(|c| c.lisa.mapped()).count(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_arch::power::Activity;
+    use lisa_mapper::MappingOutcome;
+
+    fn outcome(name: &str, ii: Option<u32>, ms: u64) -> MappingOutcome {
+        MappingOutcome {
+            mapper: name.to_string(),
+            dfg: "k".to_string(),
+            accelerator: "4x4".to_string(),
+            ii,
+            compile_time: Duration::from_millis(ms),
+            routing_cells: 3,
+            activity: Activity::default(),
+            ops: 10,
+            attempts: 1,
+        }
+    }
+
+    fn case() -> CaseResult {
+        CaseResult {
+            benchmark: "gemm".to_string(),
+            ilp: outcome("ILP", None, 4000),
+            sa: outcome("SA", Some(3), 200),
+            lisa: outcome("LISA", Some(2), 50),
+        }
+    }
+
+    #[test]
+    fn ii_row_prints_zero_for_failures() {
+        let row = ii_row(&case());
+        assert!(row.contains("gemm"));
+        assert!(row.contains('0'));
+        assert!(row.contains('2'));
+    }
+
+    #[test]
+    fn tick_row_marks_failures() {
+        let row = tick_row(&case());
+        assert!(row.contains('x'));
+        assert!(row.contains("ok"));
+    }
+
+    #[test]
+    fn time_row_stars_failures() {
+        let row = time_row(&case());
+        assert!(row.contains('*'));
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        let cases = vec![case()];
+        let vs_sa = geomean_speedup(&cases, |c| c.sa.compile_time);
+        assert!((vs_sa - 4.0).abs() < 1e-9);
+        let vs_ilp = geomean_speedup(&cases, |c| c.ilp.compile_time);
+        assert!((vs_ilp - 80.0).abs() < 1e-9);
+        assert_eq!(geomean_speedup(&[], |c| c.sa.compile_time), 1.0);
+    }
+
+    #[test]
+    fn counts() {
+        let cases = vec![case()];
+        assert_eq!(mapped_counts(&cases), (0, 1, 1));
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end configuration of the LISA framework.
+
+use lisa_dfg::RandomDfgConfig;
+use lisa_gnn::TrainConfig;
+use lisa_labels::{FilterConfig, IterGenConfig};
+use lisa_mapper::SaParams;
+
+/// Configuration of the full train-for-accelerator pipeline (paper Fig. 2:
+/// training-data generation → GNN training → label-aware mapping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LisaConfig {
+    /// Number of synthetic DFGs generated for training (paper: 1,000 per
+    /// accelerator; the default here is CI-scale — see DESIGN.md
+    /// "Substitutions").
+    pub training_dfgs: usize,
+    /// Shape of the synthetic DFGs (§V-A).
+    pub dfg: RandomDfgConfig,
+    /// Iterative label-generation budget (§V-B).
+    pub iter_gen: IterGenConfig,
+    /// Label quality filter (§V-C).
+    pub filter: FilterConfig,
+    /// GNN training recipe (§VI-B).
+    pub train: TrainConfig,
+    /// Fraction of labelled DFGs held out for the Table II accuracy
+    /// evaluation (by graph, so no leakage between sample types).
+    pub holdout_fraction: f64,
+    /// Annealer parameters used at inference time (the final label-aware
+    /// mapping of new DFGs).
+    pub sa: SaParams,
+    /// Master seed; all stages derive their seeds from it.
+    pub seed: u64,
+}
+
+impl Default for LisaConfig {
+    fn default() -> Self {
+        LisaConfig {
+            training_dfgs: 160,
+            dfg: RandomDfgConfig::default(),
+            iter_gen: IterGenConfig::default(),
+            filter: FilterConfig::default(),
+            train: TrainConfig::paper(),
+            holdout_fraction: 0.2,
+            sa: SaParams::paper(),
+            seed: 2022,
+        }
+    }
+}
+
+impl LisaConfig {
+    /// Drastically reduced pipeline for unit tests: few DFGs, short
+    /// annealing, few epochs.
+    pub fn fast() -> Self {
+        LisaConfig {
+            training_dfgs: 12,
+            dfg: RandomDfgConfig {
+                min_nodes: 6,
+                max_nodes: 12,
+                ..RandomDfgConfig::default()
+            },
+            iter_gen: IterGenConfig::fast(),
+            train: TrainConfig {
+                epochs: 25,
+                ..TrainConfig::paper()
+            },
+            sa: SaParams::fast(),
+            ..LisaConfig::default()
+        }
+    }
+
+    /// Adjusts the synthetic-DFG generator for systolic targets (only
+    /// systolic-supported operations).
+    pub fn for_systolic(mut self) -> Self {
+        self.dfg = RandomDfgConfig::systolic();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = LisaConfig::default();
+        assert!(c.training_dfgs > 0);
+        assert!(c.holdout_fraction > 0.0 && c.holdout_fraction < 1.0);
+        assert_eq!(c.train.epochs, 500);
+    }
+
+    #[test]
+    fn fast_is_smaller() {
+        let c = LisaConfig::fast();
+        assert!(c.training_dfgs < LisaConfig::default().training_dfgs);
+        assert!(c.train.epochs < 500);
+    }
+
+    #[test]
+    fn systolic_variant_restricts_ops() {
+        let c = LisaConfig::fast().for_systolic();
+        assert!(c
+            .dfg
+            .interior_ops
+            .iter()
+            .all(|op| op.systolic_supported()));
+    }
+}

@@ -1,0 +1,397 @@
+//! The end-to-end LISA framework (paper Fig. 2).
+//!
+//! [`Lisa::train_for`] runs the left and middle columns of Fig. 2 for one
+//! accelerator: generate synthetic DFGs, derive labels with the iterative
+//! mapping method, filter them, and train the four GNN label networks.
+//! The resulting [`Lisa`] instance then serves the right column: given a
+//! new DFG, [`Lisa::predict_labels`] derives the labels in milliseconds
+//! and [`Lisa::map`] runs the label-aware simulated annealing with them.
+
+use lisa_arch::Accelerator;
+use lisa_dfg::{random, Dfg};
+use lisa_gnn::dataset::NodeGraphSample;
+use lisa_gnn::metrics::{accuracy, LabelKind};
+use lisa_gnn::models::{EdgeMlp, ScheduleOrderNet, SpatialNet};
+use lisa_mapper::schedule::IiSearch;
+use lisa_mapper::{GuidanceLabels, LabelSaMapper, Mapping, MappingOutcome};
+use lisa_labels::attributes::{DfgAttributes, DUMMY_ATTR_DIM, EDGE_ATTR_DIM, NODE_ATTR_DIM};
+use lisa_labels::{filter, generate_labels, TrainingSet};
+
+use crate::report::{LabelAccuracy, TrainingStats};
+use crate::LisaConfig;
+
+/// A LISA instance trained for one accelerator.
+///
+/// # Example
+///
+/// ```no_run
+/// use lisa_arch::Accelerator;
+/// use lisa_core::{Lisa, LisaConfig};
+/// use lisa_dfg::polybench;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let acc = Accelerator::cgra("4x4", 4, 4);
+/// let lisa = Lisa::train_for(&acc, &LisaConfig::default());
+/// let dfg = polybench::kernel("gemm")?;
+/// let (outcome, _mapping) = lisa.map(&dfg, &acc);
+/// println!("gemm on 4x4: II = {:?}", outcome.ii);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lisa {
+    accelerator_name: String,
+    config: LisaConfig,
+    schedule_net: ScheduleOrderNet,
+    same_level_net: EdgeMlp,
+    spatial_net: SpatialNet,
+    temporal_net: EdgeMlp,
+    stats: TrainingStats,
+}
+
+impl Lisa {
+    /// Trains LISA for an accelerator: Fig. 2's training-data generation
+    /// and GNN-model construction, plus the Table II holdout evaluation.
+    pub fn train_for(acc: &Accelerator, config: &LisaConfig) -> Lisa {
+        // 1. Raw DFG generation (§V-A).
+        let dfgs = random::generate_dataset(&config.dfg, config.seed, config.training_dfgs);
+
+        // 2. Iterative label generation + filter (§V-B, §V-C).
+        let mut labelled: Vec<(Dfg, GuidanceLabels)> = Vec::new();
+        let mut labelled_count = 0;
+        for dfg in dfgs {
+            let Some(generated) = generate_labels(&dfg, acc, &config.iter_gen) else {
+                continue;
+            };
+            labelled_count += 1;
+            if filter::accept(&generated, &config.filter) {
+                labelled.push((dfg, generated.labels));
+            }
+        }
+
+        // 3. Train/holdout split by graph.
+        let holdout_len = ((labelled.len() as f64) * config.holdout_fraction).round() as usize;
+        let holdout_len = holdout_len.min(labelled.len().saturating_sub(1));
+        let (train_graphs, holdout_graphs) =
+            labelled.split_at(labelled.len() - holdout_len);
+
+        let mut train_set = TrainingSet::new();
+        for (dfg, labels) in train_graphs {
+            train_set.push(dfg, labels);
+        }
+        let mut holdout_set = TrainingSet::new();
+        for (dfg, labels) in holdout_graphs {
+            holdout_set.push(dfg, labels);
+        }
+
+        // 4. Train the four label networks (§IV-B, §VI-B).
+        let mut schedule_net = ScheduleOrderNet::new(NODE_ATTR_DIM, config.seed ^ 0x1);
+        let mut same_level_net = EdgeMlp::new(DUMMY_ATTR_DIM, config.seed ^ 0x2);
+        let mut spatial_net = SpatialNet::new(EDGE_ATTR_DIM, config.seed ^ 0x3);
+        let mut temporal_net = EdgeMlp::new(EDGE_ATTR_DIM, config.seed ^ 0x4);
+
+        let r1 = schedule_net.train(&train_set.node_graphs, &config.train);
+        let r2 = same_level_net.train(&train_set.same_level, &config.train);
+        let r3 = spatial_net.train(&train_set.spatial, &config.train);
+        let r4 = temporal_net.train(&train_set.temporal, &config.train);
+
+        // 5. Table II: held-out accuracy per label.
+        let eval_set = if holdout_set.is_empty() {
+            &train_set
+        } else {
+            &holdout_set
+        };
+        let accuracy = evaluate_accuracy(
+            &schedule_net,
+            &same_level_net,
+            &spatial_net,
+            &temporal_net,
+            eval_set,
+        );
+
+        let stats = TrainingStats {
+            dfgs_generated: config.training_dfgs,
+            dfgs_labelled: labelled_count,
+            dfgs_kept: train_graphs.len() + holdout_graphs.len(),
+            dfgs_holdout: holdout_graphs.len(),
+            final_losses: [
+                r1.final_loss(),
+                r2.final_loss(),
+                r3.final_loss(),
+                r4.final_loss(),
+            ],
+            accuracy,
+        };
+
+        Lisa {
+            accelerator_name: acc.name().to_string(),
+            config: config.clone(),
+            schedule_net,
+            same_level_net,
+            spatial_net,
+            temporal_net,
+            stats,
+        }
+    }
+
+    /// Name of the accelerator this instance was trained for.
+    pub fn accelerator_name(&self) -> &str {
+        &self.accelerator_name
+    }
+
+    /// Training statistics, including the Table II accuracy row.
+    pub fn stats(&self) -> &TrainingStats {
+        &self.stats
+    }
+
+    /// Derives the four guidance labels for a new DFG with the trained
+    /// GNNs (Fig. 2 right: milliseconds instead of the iterative method's
+    /// minutes).
+    ///
+    /// Predictions are post-processed for mapper consumption: spatial
+    /// distances are clamped to ≥ 0 and temporal distances to ≥ 1
+    /// (causality).
+    pub fn predict_labels(&self, dfg: &Dfg) -> GuidanceLabels {
+        let attrs = DfgAttributes::generate(dfg);
+        let node_sample = NodeGraphSample {
+            node_attrs: attrs.node.clone(),
+            neighbors: DfgAttributes::adjacency(dfg),
+            targets: vec![0.0; dfg.node_count()],
+        };
+        let schedule_order = self.schedule_net.predict(&node_sample);
+
+        let same_level = attrs
+            .dummy_edges
+            .iter()
+            .zip(&attrs.dummy)
+            .map(|(d, a)| (d.a, d.b, self.same_level_net.predict(a).max(0.0)))
+            .collect();
+
+        let mut spatial = Vec::with_capacity(dfg.edge_count());
+        let mut temporal = Vec::with_capacity(dfg.edge_count());
+        for e in dfg.edge_ids() {
+            let ctx = lisa_gnn::dataset::ContextEdgeSample {
+                attrs: attrs.edge[e.index()].clone(),
+                neighbor_attrs: attrs.edge_neighborhood(dfg, e),
+                target: 0.0,
+            };
+            let sp = self.spatial_net.predict(&ctx).max(0.0);
+            // Physical consistency: a value moves at most one hop per
+            // cycle, so the expected temporal distance can never be below
+            // the expected spatial distance (extracted training labels
+            // satisfy this by construction; predictions must too).
+            let tp = self
+                .temporal_net
+                .predict(&attrs.edge[e.index()])
+                .max(1.0)
+                .max(sp);
+            spatial.push(sp);
+            temporal.push(tp);
+        }
+
+        GuidanceLabels {
+            schedule_order,
+            same_level,
+            spatial,
+            temporal,
+        }
+    }
+
+    /// Maps a DFG with GNN-predicted labels and the label-aware SA, driving
+    /// the ascending II search. Returns the outcome metrics and, on
+    /// success, the mapping.
+    pub fn map<'a>(
+        &self,
+        dfg: &'a Dfg,
+        acc: &'a Accelerator,
+    ) -> (MappingOutcome, Option<Mapping<'a>>) {
+        let labels = self.predict_labels(dfg);
+        let mut mapper = LabelSaMapper::new(labels, self.config.sa.clone(), self.config.seed);
+        IiSearch::default().run_with_mapping(&mut mapper, dfg, acc)
+    }
+
+    /// Serialises the trained model (the four label networks) to the
+    /// sectioned text format of [`crate::ModelImportError`]'s module.
+    /// Training statistics are not persisted.
+    pub fn export_model(&self) -> String {
+        crate::model_io::assemble(
+            &self.accelerator_name,
+            [
+                self.schedule_net.export_weights(),
+                self.same_level_net.export_weights(),
+                self.spatial_net.export_weights(),
+                self.temporal_net.export_weights(),
+            ],
+        )
+    }
+
+    /// Reconstructs a trained model from [`Self::export_model`] output.
+    /// The configuration supplies the inference-time annealer parameters;
+    /// training statistics are reset (the model was not trained here).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or architecture mismatch.
+    pub fn import_model(config: &LisaConfig, text: &str) -> Result<Lisa, crate::ModelImportError> {
+        let (accelerator_name, parts) = crate::model_io::disassemble(text)?;
+        let mut schedule_net = ScheduleOrderNet::new(NODE_ATTR_DIM, 0);
+        let mut same_level_net = EdgeMlp::new(DUMMY_ATTR_DIM, 0);
+        let mut spatial_net = SpatialNet::new(EDGE_ATTR_DIM, 0);
+        let mut temporal_net = EdgeMlp::new(EDGE_ATTR_DIM, 0);
+        let wrap = |section: &'static str| {
+            move |source| crate::ModelImportError::BadWeights { section, source }
+        };
+        schedule_net
+            .import_weights(&parts[0])
+            .map_err(wrap("schedule_order"))?;
+        same_level_net
+            .import_weights(&parts[1])
+            .map_err(wrap("same_level"))?;
+        spatial_net
+            .import_weights(&parts[2])
+            .map_err(wrap("spatial"))?;
+        temporal_net
+            .import_weights(&parts[3])
+            .map_err(wrap("temporal"))?;
+        Ok(Lisa {
+            accelerator_name,
+            config: config.clone(),
+            schedule_net,
+            same_level_net,
+            spatial_net,
+            temporal_net,
+            stats: TrainingStats {
+                dfgs_generated: 0,
+                dfgs_labelled: 0,
+                dfgs_kept: 0,
+                dfgs_holdout: 0,
+                final_losses: [f64::NAN; 4],
+                accuracy: LabelAccuracy { values: [0.0; 4] },
+            },
+        })
+    }
+
+    /// Maps with an II-search cap (used by the experiment harness to bound
+    /// run times).
+    pub fn map_capped<'a>(
+        &self,
+        dfg: &'a Dfg,
+        acc: &'a Accelerator,
+        max_ii: u32,
+    ) -> (MappingOutcome, Option<Mapping<'a>>) {
+        let labels = self.predict_labels(dfg);
+        let mut mapper = LabelSaMapper::new(labels, self.config.sa.clone(), self.config.seed);
+        IiSearch {
+            max_ii: Some(max_ii),
+        }
+        .run_with_mapping(&mut mapper, dfg, acc)
+    }
+}
+
+fn evaluate_accuracy(
+    schedule_net: &ScheduleOrderNet,
+    same_level_net: &EdgeMlp,
+    spatial_net: &SpatialNet,
+    temporal_net: &EdgeMlp,
+    set: &TrainingSet,
+) -> LabelAccuracy {
+    let mut order_preds = Vec::new();
+    let mut order_truths = Vec::new();
+    for g in &set.node_graphs {
+        order_preds.extend(schedule_net.predict(g));
+        order_truths.extend(g.targets.iter().copied());
+    }
+    let sl_preds: Vec<f64> = set
+        .same_level
+        .iter()
+        .map(|s| same_level_net.predict(&s.attrs))
+        .collect();
+    let sl_truths: Vec<f64> = set.same_level.iter().map(|s| s.target).collect();
+    let sp_preds: Vec<f64> = set.spatial.iter().map(|s| spatial_net.predict(s)).collect();
+    let sp_truths: Vec<f64> = set.spatial.iter().map(|s| s.target).collect();
+    let tp_preds: Vec<f64> = set
+        .temporal
+        .iter()
+        .map(|s| temporal_net.predict(&s.attrs))
+        .collect();
+    let tp_truths: Vec<f64> = set.temporal.iter().map(|s| s.target).collect();
+
+    LabelAccuracy {
+        values: [
+            accuracy(LabelKind::ScheduleOrder, &order_preds, &order_truths),
+            accuracy(LabelKind::SameLevel, &sl_preds, &sl_truths),
+            accuracy(LabelKind::Spatial, &sp_preds, &sp_truths),
+            accuracy(LabelKind::Temporal, &tp_preds, &tp_truths),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_dfg::polybench;
+
+    fn trained_fast() -> (Lisa, Accelerator) {
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+        (lisa, acc)
+    }
+
+    #[test]
+    fn end_to_end_training_and_mapping() {
+        let (lisa, acc) = trained_fast();
+        assert_eq!(lisa.accelerator_name(), "4x4");
+        let stats = lisa.stats();
+        assert!(stats.dfgs_kept > 0, "no training DFGs survived");
+        assert!(stats.dfgs_labelled >= stats.dfgs_kept);
+
+        let dfg = polybench::kernel("doitgen").unwrap();
+        let labels = lisa.predict_labels(&dfg);
+        assert!(labels.matches(&dfg));
+        assert!(labels.temporal.iter().all(|&t| t >= 1.0));
+        assert!(labels.spatial.iter().all(|&s| s >= 0.0));
+
+        let (outcome, mapping) = lisa.map_capped(&dfg, &acc, 8);
+        assert!(outcome.mapped(), "LISA should map doitgen on 4x4");
+        mapping.unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn accuracy_values_are_fractions() {
+        let (lisa, _) = trained_fast();
+        for v in lisa.stats().accuracy.values {
+            assert!((0.0..=1.0).contains(&v), "accuracy {v} out of range");
+        }
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let a = Lisa::train_for(&acc, &LisaConfig::fast());
+        let b = Lisa::train_for(&acc, &LisaConfig::fast());
+        let dfg = polybench::kernel("doitgen").unwrap();
+        assert_eq!(a.predict_labels(&dfg), b.predict_labels(&dfg));
+    }
+}
+
+#[cfg(test)]
+mod model_io_tests {
+    use super::*;
+    use lisa_dfg::polybench;
+
+    #[test]
+    fn export_import_roundtrip_preserves_predictions() {
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+        let text = lisa.export_model();
+        let restored = Lisa::import_model(&LisaConfig::fast(), &text).unwrap();
+        assert_eq!(restored.accelerator_name(), "3x3");
+        let dfg = polybench::kernel("gemm").unwrap();
+        assert_eq!(lisa.predict_labels(&dfg), restored.predict_labels(&dfg));
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        assert!(Lisa::import_model(&LisaConfig::fast(), "not a model").is_err());
+    }
+}

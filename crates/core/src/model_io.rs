@@ -1,0 +1,155 @@
+//! Whole-model persistence for a trained [`Lisa`](crate::Lisa) instance.
+//!
+//! Training is the one-off expensive step of the pipeline; deployments
+//! persist the four networks' weights and reload them per compiler
+//! invocation. The format wraps the four `lisa-gnn` parameter dumps in
+//! named sections:
+//!
+//! ```text
+//! lisa-model v1
+//! accelerator <name>
+//! === schedule_order ===
+//! <lisa-gnn-params dump>
+//! === same_level ===
+//! ...
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use lisa_gnn::io::ParseParamsError;
+
+/// Errors produced while importing a serialised model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelImportError {
+    /// Missing or wrong `lisa-model v1` header.
+    BadHeader,
+    /// Missing `accelerator <name>` line.
+    MissingAccelerator,
+    /// A network section is absent.
+    MissingSection {
+        /// Name of the missing section.
+        section: &'static str,
+    },
+    /// A network's weights failed to parse.
+    BadWeights {
+        /// Which network.
+        section: &'static str,
+        /// Underlying parse error.
+        source: ParseParamsError,
+    },
+}
+
+impl fmt::Display for ModelImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelImportError::BadHeader => write!(f, "missing `lisa-model v1` header"),
+            ModelImportError::MissingAccelerator => write!(f, "missing accelerator line"),
+            ModelImportError::MissingSection { section } => {
+                write!(f, "missing section {section}")
+            }
+            ModelImportError::BadWeights { section, source } => {
+                write!(f, "bad weights in section {section}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for ModelImportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelImportError::BadWeights { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+pub(crate) const SECTIONS: [&str; 4] =
+    ["schedule_order", "same_level", "spatial", "temporal"];
+
+/// Assembles the sectioned model text.
+pub(crate) fn assemble(accelerator: &str, parts: [String; 4]) -> String {
+    let mut out = format!("lisa-model v1\naccelerator {accelerator}\n");
+    for (name, body) in SECTIONS.iter().zip(parts) {
+        out.push_str(&format!("=== {name} ===\n"));
+        out.push_str(&body);
+        if !body.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Splits the sectioned model text back into the accelerator name and the
+/// four parameter dumps.
+pub(crate) fn disassemble(text: &str) -> Result<(String, [String; 4]), ModelImportError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some("lisa-model v1") {
+        return Err(ModelImportError::BadHeader);
+    }
+    let accelerator = lines
+        .next()
+        .and_then(|l| l.strip_prefix("accelerator "))
+        .ok_or(ModelImportError::MissingAccelerator)?
+        .trim()
+        .to_string();
+
+    let mut parts: [String; 4] = Default::default();
+    let mut current: Option<usize> = None;
+    for line in lines {
+        if let Some(name) = line.strip_prefix("=== ").and_then(|l| l.strip_suffix(" ===")) {
+            current = SECTIONS.iter().position(|s| *s == name);
+            continue;
+        }
+        if let Some(idx) = current {
+            parts[idx].push_str(line);
+            parts[idx].push('\n');
+        }
+    }
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            return Err(ModelImportError::MissingSection {
+                section: SECTIONS[i],
+            });
+        }
+    }
+    Ok((accelerator, parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_disassemble_roundtrip() {
+        let parts = [
+            "lisa-gnn-params v1\ntensors 0\n".to_string(),
+            "lisa-gnn-params v1\ntensors 0\n".to_string(),
+            "lisa-gnn-params v1\ntensors 0\n".to_string(),
+            "lisa-gnn-params v1\ntensors 0\n".to_string(),
+        ];
+        let text = assemble("4x4", parts.clone());
+        let (acc, got) = disassemble(&text).unwrap();
+        assert_eq!(acc, "4x4");
+        assert_eq!(got, parts);
+    }
+
+    #[test]
+    fn header_checked() {
+        assert_eq!(disassemble("oops\n"), Err(ModelImportError::BadHeader));
+        assert_eq!(
+            disassemble("lisa-model v1\nno-acc\n"),
+            Err(ModelImportError::MissingAccelerator)
+        );
+    }
+
+    #[test]
+    fn missing_section_detected() {
+        let text = "lisa-model v1\naccelerator x\n=== schedule_order ===\nabc\n";
+        assert!(matches!(
+            disassemble(text),
+            Err(ModelImportError::MissingSection { .. })
+        ));
+    }
+}

@@ -1,0 +1,92 @@
+//! Graphviz (DOT) export of DFGs, for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::{Dfg, EdgeKind};
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Data edges are solid; recurrence edges are dashed and labelled with
+/// their iteration distance.
+///
+/// # Example
+///
+/// ```
+/// use lisa_dfg::{Dfg, OpKind, dot::to_dot};
+///
+/// # fn main() -> Result<(), lisa_dfg::DfgError> {
+/// let mut g = Dfg::new("tiny");
+/// let a = g.add_node(OpKind::Load, "a");
+/// let b = g.add_node(OpKind::Store, "b");
+/// g.add_data_edge(a, b)?;
+/// let dot = to_dot(&g);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("a\\nload"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(dfg: &Dfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", dfg.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for id in dfg.node_ids() {
+        let n = dfg.node(id);
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n{}\"];",
+            id,
+            escape(&n.name),
+            n.op
+        );
+    }
+    for eid in dfg.edge_ids() {
+        let e = dfg.edge(eid);
+        match e.kind {
+            EdgeKind::Data => {
+                let _ = writeln!(out, "  {} -> {};", e.src, e.dst);
+            }
+            EdgeKind::Recurrence { distance } => {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [style=dashed, label=\"d={distance}\"];",
+                    e.src, e.dst
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut g = Dfg::new("t");
+        let a = g.add_node(OpKind::Load, "a");
+        let b = g.add_node(OpKind::Add, "b");
+        g.add_data_edge(a, b).unwrap();
+        g.add_recurrence_edge(b, b, 1).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("d=1"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut g = Dfg::new("q");
+        g.add_node(OpKind::Add, "we\"ird");
+        let dot = to_dot(&g);
+        assert!(dot.contains("we\\\"ird"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Operation kinds supported by the modelled spatial accelerators.
+
+use std::fmt;
+
+/// The kind of computation a DFG node performs.
+///
+/// The set mirrors what CGRA-ME-style functional units expose: memory
+/// accesses, integer arithmetic/logic, comparisons and selects, plus
+/// constants. The systolic array (paper Fig. 3) only supports a subset —
+/// see [`OpKind::systolic_supported`].
+///
+/// # Example
+///
+/// ```
+/// use lisa_dfg::OpKind;
+///
+/// assert!(OpKind::Load.is_memory());
+/// assert!(OpKind::Mul.systolic_supported());
+/// assert!(!OpKind::Div.systolic_supported());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Memory load. Inputs: optional address. Sources data into the DFG.
+    Load,
+    /// Memory store. Inputs: value (and optionally address). DFG sink.
+    Store,
+    /// Integer/floating addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Left shift.
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Comparison producing a predicate.
+    Cmp,
+    /// Two-way select driven by a predicate.
+    Select,
+    /// Compile-time constant. No inputs.
+    Const,
+}
+
+impl OpKind {
+    /// All operation kinds, in a fixed order used for attribute encoding.
+    pub const ALL: [OpKind; 14] = [
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Shl,
+        OpKind::Shr,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Cmp,
+        OpKind::Select,
+        OpKind::Const,
+    ];
+
+    /// Returns `true` for memory operations ([`Load`](OpKind::Load) and
+    /// [`Store`](OpKind::Store)), which on memory-constrained CGRAs may only
+    /// be placed on memory-capable PEs.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+
+    /// Returns `true` if the operation produces a value consumed by others.
+    ///
+    /// Stores are sinks: they produce no value, so they never have outgoing
+    /// data edges.
+    pub fn produces_value(self) -> bool {
+        !matches!(self, OpKind::Store)
+    }
+
+    /// Maximum number of data inputs the operation accepts.
+    pub fn max_inputs(self) -> usize {
+        match self {
+            OpKind::Const => 0,
+            OpKind::Load => 1,
+            OpKind::Store | OpKind::Cmp => 2,
+            OpKind::Select => 3,
+            _ => 2,
+        }
+    }
+
+    /// Whether the Revel-like systolic basic unit can execute this
+    /// operation. Per the paper (§II-A): "The PEs can execute either
+    /// multiply or add operations"; memory ops are handled by the array
+    /// boundary (left-most column loads, right-most column stores).
+    pub fn systolic_supported(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Load | OpKind::Store
+        )
+    }
+
+    /// A stable small integer code for the operation, used as the
+    /// "operation type" node attribute (paper §IV-A, node attribute 6).
+    pub fn code(self) -> usize {
+        OpKind::ALL.iter().position(|&k| k == self).expect("in ALL")
+    }
+
+    /// Short lowercase mnemonic (also used by Graphviz export).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Shl => "shl",
+            OpKind::Shr => "shr",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Cmp => "cmp",
+            OpKind::Select => "select",
+            OpKind::Const => "const",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_dense() {
+        let mut seen = vec![false; OpKind::ALL.len()];
+        for op in OpKind::ALL {
+            assert!(!seen[op.code()], "duplicate code for {op}");
+            seen[op.code()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(OpKind::Load.is_memory());
+        assert!(OpKind::Store.is_memory());
+        for op in OpKind::ALL {
+            if !matches!(op, OpKind::Load | OpKind::Store) {
+                assert!(!op.is_memory(), "{op} wrongly classified as memory");
+            }
+        }
+    }
+
+    #[test]
+    fn stores_do_not_produce_values() {
+        assert!(!OpKind::Store.produces_value());
+        assert!(OpKind::Add.produces_value());
+        assert!(OpKind::Const.produces_value());
+    }
+
+    #[test]
+    fn const_has_no_inputs() {
+        assert_eq!(OpKind::Const.max_inputs(), 0);
+        assert_eq!(OpKind::Select.max_inputs(), 3);
+    }
+
+    #[test]
+    fn systolic_subset() {
+        assert!(OpKind::Mul.systolic_supported());
+        assert!(OpKind::Add.systolic_supported());
+        assert!(!OpKind::Div.systolic_supported());
+        assert!(!OpKind::Select.systolic_supported());
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        for op in OpKind::ALL {
+            assert_eq!(op.to_string(), op.mnemonic());
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Same-level node association: the *dummy edges* of paper §III-A (Fig. 7).
+//!
+//! Two nodes are *same-level* when they share an ASAP level, have no data
+//! dependency in either direction, and have a common ancestor or common
+//! descendant. The pair is materialised as a [`DummyEdge`] carrying the
+//! nearest common ancestor/descendant information the Attributes Generator
+//! needs (§IV-A, dummy-edge attributes 1–7).
+
+use crate::analysis::{ancestor_sets, asap, descendant_sets, distances_down, distances_up};
+use crate::{Dfg, NodeId};
+
+/// The nearest common ancestor or descendant of a same-level pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommonNode {
+    /// The common ancestor/descendant node.
+    pub node: NodeId,
+    /// Shortest hop distance from the first pair member to [`Self::node`].
+    pub dist_a: u32,
+    /// Shortest hop distance from the second pair member to [`Self::node`].
+    pub dist_b: u32,
+    /// Number of distinct intermediate nodes lying on some path between a
+    /// pair member and [`Self::node`] (both endpoints excluded).
+    pub on_path_count: usize,
+}
+
+impl CommonNode {
+    /// Mean of the two member distances — the paper initialises the
+    /// same-level association label with "the average value of the shortest
+    /// distances between nodes and common ancestor/descendant" (§V-B).
+    pub fn mean_dist(&self) -> f64 {
+        f64::from(self.dist_a + self.dist_b) / 2.0
+    }
+}
+
+/// A dummy edge between two same-level nodes (paper Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DummyEdge {
+    /// First member of the pair (smaller node index).
+    pub a: NodeId,
+    /// Second member of the pair.
+    pub b: NodeId,
+    /// Shared ASAP level of the two members.
+    pub level: u32,
+    /// Nearest common ancestor, if any.
+    pub ancestor: Option<CommonNode>,
+    /// Nearest common descendant, if any.
+    pub descendant: Option<CommonNode>,
+}
+
+/// Computes all dummy edges of a DFG.
+///
+/// A pair qualifies if the nodes share an ASAP level and have a common
+/// ancestor **or** a common descendant (paper: nodes `C` and `F` in Fig. 4
+/// get no dummy edge because they share neither).
+///
+/// # Panics
+///
+/// Panics if the data subgraph has a cycle.
+///
+/// # Example
+///
+/// ```
+/// use lisa_dfg::{Dfg, OpKind, dummy_edges};
+///
+/// # fn main() -> Result<(), lisa_dfg::DfgError> {
+/// // b and c are both children of a: same level, common ancestor.
+/// let mut dfg = Dfg::new("v");
+/// let a = dfg.add_node(OpKind::Load, "a");
+/// let b = dfg.add_node(OpKind::Add, "b");
+/// let c = dfg.add_node(OpKind::Mul, "c");
+/// dfg.add_data_edge(a, b)?;
+/// dfg.add_data_edge(a, c)?;
+/// let dummies = dummy_edges(&dfg);
+/// assert_eq!(dummies.len(), 1);
+/// assert_eq!(dummies[0].ancestor.unwrap().node, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dummy_edges(dfg: &Dfg) -> Vec<DummyEdge> {
+    let levels = asap(dfg);
+    let anc = ancestor_sets(dfg);
+    let desc = descendant_sets(dfg);
+    let n = dfg.node_count();
+
+    // Cache per-node BFS distances lazily: pairs are sparse relative to n^2
+    // only in large graphs, but graphs here are small, so precompute all.
+    let up: Vec<Vec<Option<u32>>> = (0..n)
+        .map(|i| distances_up(dfg, NodeId::new(i)))
+        .collect();
+    let down: Vec<Vec<Option<u32>>> = (0..n)
+        .map(|i| distances_down(dfg, NodeId::new(i)))
+        .collect();
+
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if levels[i] != levels[j] {
+                continue;
+            }
+            let (a, b) = (NodeId::new(i), NodeId::new(j));
+            // Same ASAP level implies no data dependency either way, but be
+            // explicit: skip related nodes.
+            if anc[i].contains(b) || anc[j].contains(a) {
+                continue;
+            }
+            let ancestor = closest_common(&anc[i], &anc[j], &up[i], &up[j]);
+            let descendant = closest_common(&desc[i], &desc[j], &down[i], &down[j]);
+            if ancestor.is_none() && descendant.is_none() {
+                continue;
+            }
+            out.push(DummyEdge {
+                a,
+                b,
+                level: levels[i],
+                ancestor,
+                descendant,
+            });
+        }
+    }
+    out
+}
+
+/// Picks the common node minimising the pair's summed distance.
+/// `on_path_count` is left at zero; see [`annotate_path_counts`].
+fn closest_common(
+    set_a: &crate::analysis::NodeSet,
+    set_b: &crate::analysis::NodeSet,
+    dist_a: &[Option<u32>],
+    dist_b: &[Option<u32>],
+) -> Option<CommonNode> {
+    let common = set_a.intersection(set_b);
+    let mut best: Option<CommonNode> = None;
+    for c in common.iter() {
+        let (Some(da), Some(db)) = (dist_a[c.index()], dist_b[c.index()]) else {
+            continue;
+        };
+        let better = best.is_none_or(|cur| da + db < cur.dist_a + cur.dist_b);
+        if better {
+            best = Some(CommonNode {
+                node: c,
+                dist_a: da,
+                dist_b: db,
+                on_path_count: 0,
+            });
+        }
+    }
+    best
+}
+
+/// Recomputes the `on_path_count` fields of a set of dummy edges.
+///
+/// Separated from [`dummy_edges`] so it can intersect per-pair node sets:
+/// toward the ancestor, intermediates are descendants of the common
+/// ancestor that are ancestors of `a` or `b`; toward the descendant,
+/// intermediates are ancestors of the common descendant that are
+/// descendants of `a` or `b`.
+pub fn annotate_path_counts(dfg: &Dfg, edges: &mut [DummyEdge]) {
+    let anc = ancestor_sets(dfg);
+    let desc = descendant_sets(dfg);
+    for e in edges.iter_mut() {
+        if let Some(c) = e.ancestor.as_mut() {
+            let mut count = 0;
+            for m in desc[c.node.index()].iter() {
+                if m == e.a || m == e.b {
+                    continue;
+                }
+                if anc[e.a.index()].contains(m) || anc[e.b.index()].contains(m) {
+                    count += 1;
+                }
+            }
+            c.on_path_count = count;
+        }
+        if let Some(c) = e.descendant.as_mut() {
+            let mut count = 0;
+            for m in anc[c.node.index()].iter() {
+                if m == e.a || m == e.b {
+                    continue;
+                }
+                if desc[e.a.index()].contains(m) || desc[e.b.index()].contains(m) {
+                    count += 1;
+                }
+            }
+            c.on_path_count = count;
+        }
+    }
+}
+
+/// Convenience: dummy edges with path counts already annotated.
+pub fn dummy_edges_annotated(dfg: &Dfg) -> Vec<DummyEdge> {
+    let mut edges = dummy_edges(dfg);
+    annotate_path_counts(dfg, &mut edges);
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    /// Paper Fig. 4 graph (same construction as the analysis tests).
+    fn fig4() -> Dfg {
+        let mut g = Dfg::new("fig4");
+        let a = g.add_node(OpKind::Load, "A");
+        let b = g.add_node(OpKind::Load, "B");
+        let c = g.add_node(OpKind::Add, "C");
+        let d = g.add_node(OpKind::Mul, "D");
+        let e = g.add_node(OpKind::Add, "E");
+        let f = g.add_node(OpKind::Sub, "F");
+        let gg = g.add_node(OpKind::Add, "G");
+        let h = g.add_node(OpKind::Mul, "H");
+        let i = g.add_node(OpKind::Add, "I");
+        let j = g.add_node(OpKind::Store, "J");
+        g.add_data_edge(a, c).unwrap();
+        g.add_data_edge(b, d).unwrap();
+        g.add_data_edge(b, e).unwrap();
+        g.add_data_edge(b, f).unwrap();
+        g.add_data_edge(b, i).unwrap();
+        g.add_data_edge(c, gg).unwrap();
+        g.add_data_edge(d, gg).unwrap();
+        g.add_data_edge(d, h).unwrap();
+        g.add_data_edge(e, h).unwrap();
+        g.add_data_edge(e, i).unwrap();
+        g.add_data_edge(gg, j).unwrap();
+        g.add_data_edge(h, j).unwrap();
+        g
+    }
+
+    fn find(edges: &[DummyEdge], a: usize, b: usize) -> Option<&DummyEdge> {
+        edges
+            .iter()
+            .find(|e| e.a.index() == a.min(b) && e.b.index() == a.max(b))
+    }
+
+    #[test]
+    fn fig7_associations() {
+        // The paper shows dummy edges among the same-level nodes C, E, F:
+        // C–E exists (common descendant J via G and H... E and C: E's
+        // descendants {H,I,J}, C's {G,J} -> common J), E–F share ancestor B,
+        // and C–F share nothing -> no dummy edge.
+        let g = fig4();
+        let edges = dummy_edges_annotated(&g);
+        assert!(find(&edges, 2, 4).is_some(), "C-E dummy edge missing");
+        assert!(find(&edges, 4, 5).is_some(), "E-F dummy edge missing");
+        assert!(find(&edges, 2, 5).is_none(), "C-F must have no dummy edge");
+    }
+
+    #[test]
+    fn ef_common_ancestor_is_b() {
+        let g = fig4();
+        let edges = dummy_edges_annotated(&g);
+        let ef = find(&edges, 4, 5).unwrap();
+        let anc = ef.ancestor.unwrap();
+        assert_eq!(anc.node.index(), 1); // B
+        assert_eq!(anc.dist_a, 1);
+        assert_eq!(anc.dist_b, 1);
+        assert!((anc.mean_dist() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ce_common_descendant_is_j() {
+        let g = fig4();
+        let edges = dummy_edges_annotated(&g);
+        let ce = find(&edges, 2, 4).unwrap();
+        let d = ce.descendant.unwrap();
+        assert_eq!(d.node.index(), 9); // J
+        assert_eq!(d.dist_a, 2); // C -> G -> J
+        assert_eq!(d.dist_b, 2); // E -> H -> J
+        // Intermediates on the paths: G (from C) and H (from E).
+        assert_eq!(d.on_path_count, 2);
+    }
+
+    #[test]
+    fn same_level_roots_share_descendant() {
+        // A and B are both level 0; they share descendant J.
+        let g = fig4();
+        let edges = dummy_edges_annotated(&g);
+        let ab = find(&edges, 0, 1).unwrap();
+        assert!(ab.descendant.is_some());
+        assert!(ab.ancestor.is_none());
+        assert_eq!(ab.level, 0);
+    }
+
+    #[test]
+    fn dependent_nodes_never_pair() {
+        let g = fig4();
+        let edges = dummy_edges(&g);
+        for e in &edges {
+            let anc = ancestor_sets(&g);
+            assert!(!anc[e.a.index()].contains(e.b));
+            assert!(!anc[e.b.index()].contains(e.a));
+        }
+    }
+
+    #[test]
+    fn pair_ordering_is_canonical() {
+        let g = fig4();
+        for e in dummy_edges(&g) {
+            assert!(e.a.index() < e.b.index());
+        }
+    }
+
+    #[test]
+    fn no_dummy_edges_in_chain() {
+        let mut g = Dfg::new("chain");
+        let a = g.add_node(OpKind::Load, "a");
+        let b = g.add_node(OpKind::Add, "b");
+        let c = g.add_node(OpKind::Store, "c");
+        g.add_data_edge(a, b).unwrap();
+        g.add_data_edge(b, c).unwrap();
+        assert!(dummy_edges(&g).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Structural statistics of a DFG, used by the experiment harness and
+//! documentation tables (and handy when characterising new workloads).
+
+use std::fmt;
+
+use crate::{analysis, Dfg, EdgeKind, OpKind};
+
+/// Summary statistics of one DFG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfgStats {
+    /// Kernel name.
+    pub name: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Data-edge count.
+    pub data_edges: usize,
+    /// Recurrence-edge count.
+    pub recurrence_edges: usize,
+    /// Critical path length (levels).
+    pub critical_path: u32,
+    /// Maximum data out-degree (fanout pressure).
+    pub max_out_degree: usize,
+    /// Mean data out-degree over value-producing nodes.
+    pub mean_out_degree: f64,
+    /// Memory operations (loads + stores).
+    pub memory_ops: usize,
+    /// Multiplications (expensive-unit pressure on heterogeneous CGRAs).
+    pub multiplies: usize,
+    /// Width of the widest ASAP level (spatial parallelism demand).
+    pub max_level_width: usize,
+}
+
+impl DfgStats {
+    /// Computes the statistics for one DFG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data subgraph has a cycle.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lisa_dfg::{polybench, stats::DfgStats};
+    ///
+    /// let stats = DfgStats::of(&polybench::kernel("gemm")?);
+    /// assert!(stats.nodes > 10);
+    /// assert!(stats.memory_ops >= 3);
+    /// # Ok::<(), lisa_dfg::DfgError>(())
+    /// ```
+    pub fn of(dfg: &Dfg) -> DfgStats {
+        let levels = analysis::asap(dfg);
+        let mut level_width = std::collections::HashMap::new();
+        for &l in &levels {
+            *level_width.entry(l).or_insert(0usize) += 1;
+        }
+        let producers: Vec<usize> = dfg
+            .node_ids()
+            .filter(|&v| dfg.node(v).op.produces_value())
+            .map(|v| dfg.data_out_degree(v))
+            .collect();
+        DfgStats {
+            name: dfg.name().to_string(),
+            nodes: dfg.node_count(),
+            data_edges: dfg
+                .edges()
+                .iter()
+                .filter(|e| e.kind == EdgeKind::Data)
+                .count(),
+            recurrence_edges: dfg
+                .edges()
+                .iter()
+                .filter(|e| matches!(e.kind, EdgeKind::Recurrence { .. }))
+                .count(),
+            critical_path: analysis::critical_path_len(dfg),
+            max_out_degree: producers.iter().copied().max().unwrap_or(0),
+            mean_out_degree: if producers.is_empty() {
+                0.0
+            } else {
+                producers.iter().sum::<usize>() as f64 / producers.len() as f64
+            },
+            memory_ops: dfg.nodes().iter().filter(|n| n.op.is_memory()).count(),
+            multiplies: dfg.nodes().iter().filter(|n| n.op == OpKind::Mul).count(),
+            max_level_width: level_width.values().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for DfgStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes, {}+{} edges, cp {}, fanout {}/{:.1}, {} mem, {} mul, width {}",
+            self.name,
+            self.nodes,
+            self.data_edges,
+            self.recurrence_edges,
+            self.critical_path,
+            self.max_out_degree,
+            self.mean_out_degree,
+            self.memory_ops,
+            self.multiplies,
+            self.max_level_width
+        )
+    }
+}
+
+/// Statistics table over a set of DFGs (e.g. the PolyBench suite).
+pub fn table(dfgs: &[Dfg]) -> Vec<DfgStats> {
+    dfgs.iter().map(DfgStats::of).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polybench;
+
+    #[test]
+    fn polybench_suite_statistics() {
+        let stats = table(&polybench::all_kernels());
+        assert_eq!(stats.len(), 12);
+        for s in &stats {
+            assert!(s.nodes >= 10);
+            assert!(s.critical_path >= 3);
+            assert!(s.memory_ops >= 2);
+            assert!(s.max_level_width >= 2);
+            assert!(!s.to_string().is_empty());
+        }
+        // syr2k is denser than doitgen in every communication dimension.
+        let syr2k = stats.iter().find(|s| s.name == "syr2k").unwrap();
+        let doitgen = stats.iter().find(|s| s.name == "doitgen").unwrap();
+        assert!(syr2k.data_edges > doitgen.data_edges);
+    }
+
+    #[test]
+    fn recurrences_counted() {
+        let gemm = polybench::kernel("gemm").unwrap();
+        let s = DfgStats::of(&gemm);
+        // Induction variable + accumulator.
+        assert_eq!(s.recurrence_edges, 2);
+    }
+
+    #[test]
+    fn unrolled_statistics_scale() {
+        let base = DfgStats::of(&polybench::kernel("mvt").unwrap());
+        let u2 = DfgStats::of(&crate::unroll::unroll(
+            &polybench::kernel("mvt").unwrap(),
+            2,
+        ));
+        assert_eq!(u2.nodes, 2 * base.nodes);
+        assert!(u2.max_level_width >= base.max_level_width);
+    }
+}

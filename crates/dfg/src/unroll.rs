@@ -1,0 +1,188 @@
+//! Loop unrolling of DFGs (paper §VI: "an unrolled version (unrolling
+//! factor is 2) of kernels").
+//!
+//! Unrolling by factor `k` replicates the loop body `k` times inside one
+//! DFG. Intra-iteration data edges are replicated within each copy.
+//! Recurrence edges with distance 1 become *data* edges from copy `i` to
+//! copy `i+1` (the dependency is now satisfied inside the unrolled body) and
+//! a single recurrence edge from the last copy back to the first; distances
+//! greater than the unroll factor stay recurrences with an adjusted
+//! distance.
+
+use crate::{Dfg, EdgeKind, NodeId};
+
+/// Unrolls `dfg` by `factor`, producing a new DFG named `<name>_u<factor>`.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lisa_dfg::{Dfg, OpKind, unroll::unroll};
+///
+/// # fn main() -> Result<(), lisa_dfg::DfgError> {
+/// let mut body = Dfg::new("k");
+/// let a = body.add_node(OpKind::Load, "a");
+/// let s = body.add_node(OpKind::Store, "s");
+/// body.add_data_edge(a, s)?;
+/// let u2 = unroll(&body, 2);
+/// assert_eq!(u2.node_count(), 4);
+/// assert_eq!(u2.name(), "k_u2");
+/// # Ok(())
+/// # }
+/// ```
+pub fn unroll(dfg: &Dfg, factor: u32) -> Dfg {
+    assert!(factor > 0, "unroll factor must be positive");
+    let mut out = Dfg::new(format!("{}_u{}", dfg.name(), factor));
+    let n = dfg.node_count();
+    // ids[copy][orig] = new node id
+    let mut ids: Vec<Vec<NodeId>> = Vec::with_capacity(factor as usize);
+    for copy in 0..factor {
+        let mut row = Vec::with_capacity(n);
+        for v in dfg.node_ids() {
+            let node = dfg.node(v);
+            row.push(out.add_node(node.op, format!("{}_{copy}", node.name)));
+        }
+        ids.push(row);
+    }
+    for e in dfg.edges() {
+        match e.kind {
+            EdgeKind::Data => {
+                for copy in 0..factor as usize {
+                    out.add_data_edge(ids[copy][e.src.index()], ids[copy][e.dst.index()])
+                        .expect("replicated data edge is fresh");
+                }
+            }
+            EdgeKind::Recurrence { distance } => {
+                // Copy c of the producer feeds copy c + distance of the
+                // consumer; crossings beyond the last copy wrap to a
+                // recurrence over the unrolled loop.
+                for copy in 0..factor as usize {
+                    let target = copy + distance as usize;
+                    if target < factor as usize {
+                        out.add_data_edge(ids[copy][e.src.index()], ids[target][e.dst.index()])
+                            .expect("forwarded recurrence edge is fresh");
+                    } else {
+                        let wrapped_copy = target % factor as usize;
+                        let new_distance = (target / factor as usize) as u32;
+                        out.add_recurrence_edge(
+                            ids[copy][e.src.index()],
+                            ids[wrapped_copy][e.dst.index()],
+                            new_distance,
+                        )
+                        .expect("wrapped recurrence edge is fresh");
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    fn mac_body() -> Dfg {
+        let mut g = Dfg::new("mac");
+        let a = g.add_node(OpKind::Load, "a");
+        let b = g.add_node(OpKind::Load, "b");
+        let m = g.add_node(OpKind::Mul, "m");
+        let acc = g.add_node(OpKind::Add, "acc");
+        let st = g.add_node(OpKind::Store, "st");
+        g.add_data_edge(a, m).unwrap();
+        g.add_data_edge(b, m).unwrap();
+        g.add_data_edge(m, acc).unwrap();
+        g.add_data_edge(acc, st).unwrap();
+        g.add_recurrence_edge(acc, acc, 1).unwrap();
+        g.validate().unwrap();
+        g
+    }
+
+    #[test]
+    fn factor_one_is_a_rename() {
+        let g = mac_body();
+        let u = unroll(&g, 1);
+        assert_eq!(u.node_count(), g.node_count());
+        assert_eq!(u.edge_count(), g.edge_count());
+        assert_eq!(u.name(), "mac_u1");
+        u.validate().unwrap();
+    }
+
+    #[test]
+    fn factor_two_duplicates_nodes() {
+        let g = mac_body();
+        let u = unroll(&g, 2);
+        assert_eq!(u.node_count(), 2 * g.node_count());
+        u.validate().unwrap();
+        assert!(u.is_weakly_connected());
+    }
+
+    #[test]
+    fn recurrence_becomes_internal_data_edge_plus_wrap() {
+        let g = mac_body();
+        let u = unroll(&g, 2);
+        // acc_0 -> acc_1 is now a data edge; acc_1 -> acc_0 is a recurrence
+        // with distance 1.
+        let acc0 = NodeId::new(3);
+        let acc1 = NodeId::new(3 + g.node_count());
+        let has_data = u
+            .edges()
+            .iter()
+            .any(|e| e.src == acc0 && e.dst == acc1 && e.kind == EdgeKind::Data);
+        assert!(has_data, "expected acc_0 -> acc_1 data edge");
+        let wrap = u
+            .edges()
+            .iter()
+            .find(|e| e.src == acc1 && e.dst == acc0)
+            .expect("wrap edge");
+        assert_eq!(wrap.kind, EdgeKind::Recurrence { distance: 1 });
+    }
+
+    #[test]
+    fn pure_dag_unroll_has_no_recurrences() {
+        let mut g = Dfg::new("dag");
+        let a = g.add_node(OpKind::Load, "a");
+        let s = g.add_node(OpKind::Store, "s");
+        g.add_data_edge(a, s).unwrap();
+        let u = unroll(&g, 3);
+        assert_eq!(u.node_count(), 6);
+        assert!(u
+            .edges()
+            .iter()
+            .all(|e| e.kind == EdgeKind::Data));
+        u.validate().unwrap();
+    }
+
+    #[test]
+    fn distance_two_recurrence_unrolled_by_two() {
+        let mut g = Dfg::new("d2");
+        let x = g.add_node(OpKind::Add, "x");
+        let y = g.add_node(OpKind::Mul, "y");
+        g.add_data_edge(x, y).unwrap();
+        g.add_recurrence_edge(y, x, 2).unwrap();
+        let u = unroll(&g, 2);
+        u.validate().unwrap();
+        // y_0 -> x_0 at distance 1 (2 iterations of original = 1 of unrolled)
+        // and y_1 -> x_1 at distance 1.
+        let recs: Vec<_> = u
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.kind, EdgeKind::Recurrence { .. }))
+            .collect();
+        assert_eq!(recs.len(), 2);
+        for r in recs {
+            assert_eq!(r.kind, EdgeKind::Recurrence { distance: 1 });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unroll factor must be positive")]
+    fn zero_factor_panics() {
+        let g = mac_body();
+        let _ = unroll(&g, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Training-sample containers for the label networks.
+//!
+//! The `lisa-labels` crate converts DFGs + extracted labels into these
+//! architecture-agnostic samples; this crate only sees attribute vectors,
+//! adjacency, and regression targets.
+
+/// A whole-graph sample for the node-level schedule-order network
+/// (label 1). One sample per DFG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeGraphSample {
+    /// Per-node attribute vectors (all the same length).
+    pub node_attrs: Vec<Vec<f64>>,
+    /// Undirected adjacency: `neighbors[v]` lists the nodes exchanging
+    /// messages with `v`.
+    pub neighbors: Vec<Vec<usize>>,
+    /// Per-node regression target (the schedule-order label).
+    pub targets: Vec<f64>,
+}
+
+impl NodeGraphSample {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.node_attrs.len()
+    }
+
+    /// Whether the sample has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_attrs.is_empty()
+    }
+
+    /// Checks internal shape consistency.
+    pub fn is_consistent(&self) -> bool {
+        let n = self.node_attrs.len();
+        if self.neighbors.len() != n || self.targets.len() != n {
+            return false;
+        }
+        let d = self.node_attrs.first().map_or(0, Vec::len);
+        self.node_attrs.iter().all(|a| a.len() == d)
+            && self
+                .neighbors
+                .iter()
+                .all(|ns| ns.iter().all(|&u| u < n))
+    }
+}
+
+/// An independent edge sample for the MLP labels — same-level association
+/// (label 2) and temporal mapping distance (label 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeSample {
+    /// Edge (or dummy-edge) attribute vector.
+    pub attrs: Vec<f64>,
+    /// Regression target.
+    pub target: f64,
+}
+
+/// An edge sample with neighbourhood context for the spatial-mapping
+/// distance network (label 3): Eq. 5 aggregates over the attribute vectors
+/// of the edges connected to the parent and child nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextEdgeSample {
+    /// The edge's own attribute vector.
+    pub attrs: Vec<f64>,
+    /// Attribute vectors of edges incident to either endpoint (including
+    /// this edge itself).
+    pub neighbor_attrs: Vec<Vec<f64>>,
+    /// Regression target.
+    pub target: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_check() {
+        let good = NodeGraphSample {
+            node_attrs: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            neighbors: vec![vec![1], vec![0]],
+            targets: vec![0.0, 1.0],
+        };
+        assert!(good.is_consistent());
+        assert_eq!(good.len(), 2);
+
+        let bad_adj = NodeGraphSample {
+            neighbors: vec![vec![5], vec![0]],
+            ..good.clone()
+        };
+        assert!(!bad_adj.is_consistent());
+
+        let ragged = NodeGraphSample {
+            node_attrs: vec![vec![1.0], vec![3.0, 4.0]],
+            ..good
+        };
+        assert!(!ragged.is_consistent());
+    }
+}

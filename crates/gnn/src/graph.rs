@@ -1,0 +1,529 @@
+//! Reverse-mode automatic differentiation over a dynamically built tape.
+//!
+//! Each forward pass builds a fresh [`Graph`] (define-by-run, like
+//! PyTorch): every operation appends a node holding its output value and
+//! the information backward needs. [`Graph::backward`] then walks the tape
+//! in reverse, accumulating gradients into intermediate nodes and — for
+//! parameter leaves — into the [`ParamStore`].
+//!
+//! The op set is exactly what the paper's four label networks (Eq. 1–7)
+//! require: matrix–vector products, elementwise arithmetic, ReLU,
+//! guarded reciprocals, concatenation, scalar broadcast, and
+//! min/max/mean pooling over neighbour sets.
+
+use crate::{ParamId, ParamStore, Tensor};
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant input; no gradient flows out.
+    Input,
+    /// Parameter leaf; gradient accumulates into the store.
+    Param(ParamId),
+    /// `W x` where `W` is a matrix var and `x` a column vector.
+    MatVec(VarId, VarId),
+    Add(VarId, VarId),
+    Sub(VarId, VarId),
+    Hadamard(VarId, VarId),
+    /// `s * x` with `s` a 1×1 var broadcast over `x`.
+    Scale(VarId, VarId),
+    Relu(VarId),
+    /// Guarded elementwise reciprocal: `1/x`, or 1 where `|x| < eps`
+    /// (the paper sets the normalisation factor to one on zero
+    /// denominators, §IV-B).
+    Recip(VarId),
+    /// Vertical concatenation of column vectors.
+    Concat(Vec<VarId>),
+    /// Elementwise mean over a set of same-shaped vectors.
+    PoolMean(Vec<VarId>),
+    /// Elementwise max; gradient flows to the argmax element.
+    PoolMax(Vec<VarId>),
+    /// Elementwise min; gradient flows to the argmin element.
+    PoolMin(Vec<VarId>),
+    /// Elementwise sum over a set of same-shaped vectors.
+    PoolSum(Vec<VarId>),
+    /// Squared error `(x - target)^2` of a 1×1 var against a constant.
+    SquaredError(VarId, f64),
+}
+
+const RECIP_EPS: f64 = 1e-6;
+
+#[derive(Debug, Clone)]
+struct Node {
+    op: Op,
+    value: Tensor,
+}
+
+/// A dynamically built computation graph.
+///
+/// # Example
+///
+/// ```
+/// use lisa_gnn::{Graph, ParamStore, Tensor};
+///
+/// let mut store = ParamStore::new(0);
+/// let w = store.alloc_with(Tensor::from_vec(1, 2, vec![2.0, -1.0]));
+/// let mut g = Graph::new();
+/// let wv = g.param(&store, w);
+/// let x = g.input(Tensor::vector(vec![3.0, 4.0]));
+/// let y = g.matvec(wv, x);           // 2*3 - 4 = 2
+/// let loss = g.squared_error(y, 0.0); // 4
+/// assert_eq!(g.value(loss).item(), 4.0);
+/// g.backward(loss, &mut store);
+/// // dL/dW = 2*(y-0) * x^T = [12, 16]
+/// assert_eq!(store.grad(w).data(), &[12.0, 16.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> VarId {
+        self.nodes.push(Node { op, value });
+        VarId(self.nodes.len() - 1)
+    }
+
+    /// The forward value of a var.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Number of tape nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a constant input.
+    pub fn input(&mut self, value: Tensor) -> VarId {
+        self.push(Op::Input, value)
+    }
+
+    /// Adds a parameter leaf (value copied from the store).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
+        self.push(Op::Param(id), store.value(id).clone())
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&mut self, w: VarId, x: VarId) -> VarId {
+        let v = self.nodes[w.0].value.matvec(&self.nodes[x.0].value);
+        self.push(Op::MatVec(w, x), v)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(Op::Hadamard(a, b), v)
+    }
+
+    /// Broadcast scalar × vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not 1×1.
+    pub fn scale(&mut self, s: VarId, x: VarId) -> VarId {
+        let k = self.nodes[s.0].value.item();
+        let v = self.nodes[x.0].value.scale(k);
+        self.push(Op::Scale(s, x), v)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: VarId) -> VarId {
+        let src = &self.nodes[x.0].value;
+        let v = Tensor::from_vec(
+            src.rows(),
+            src.cols(),
+            src.data().iter().map(|&v| v.max(0.0)).collect(),
+        );
+        self.push(Op::Relu(x), v)
+    }
+
+    /// Guarded elementwise reciprocal (1 where the input is ~0).
+    pub fn recip(&mut self, x: VarId) -> VarId {
+        let src = &self.nodes[x.0].value;
+        let v = Tensor::from_vec(
+            src.rows(),
+            src.cols(),
+            src.data()
+                .iter()
+                .map(|&v| if v.abs() < RECIP_EPS { 1.0 } else { 1.0 / v })
+                .collect(),
+        );
+        self.push(Op::Recip(x), v)
+    }
+
+    /// Vertical concatenation of column vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or any part is not a column vector.
+    pub fn concat(&mut self, parts: Vec<VarId>) -> VarId {
+        assert!(!parts.is_empty(), "concat needs at least one part");
+        let mut data = Vec::new();
+        for &p in &parts {
+            let t = &self.nodes[p.0].value;
+            assert_eq!(t.cols(), 1, "concat parts must be column vectors");
+            data.extend_from_slice(t.data());
+        }
+        let v = Tensor::vector(data);
+        self.push(Op::Concat(parts), v)
+    }
+
+    /// Elementwise mean over same-shaped vectors.
+    pub fn pool_mean(&mut self, parts: Vec<VarId>) -> VarId {
+        let v = self.pool_value(&parts, Pool::Mean);
+        self.push(Op::PoolMean(parts), v)
+    }
+
+    /// Elementwise max over same-shaped vectors.
+    pub fn pool_max(&mut self, parts: Vec<VarId>) -> VarId {
+        let v = self.pool_value(&parts, Pool::Max);
+        self.push(Op::PoolMax(parts), v)
+    }
+
+    /// Elementwise min over same-shaped vectors.
+    pub fn pool_min(&mut self, parts: Vec<VarId>) -> VarId {
+        let v = self.pool_value(&parts, Pool::Min);
+        self.push(Op::PoolMin(parts), v)
+    }
+
+    /// Elementwise sum over same-shaped vectors.
+    pub fn pool_sum(&mut self, parts: Vec<VarId>) -> VarId {
+        let v = self.pool_value(&parts, Pool::Sum);
+        self.push(Op::PoolSum(parts), v)
+    }
+
+    /// Squared error of a 1×1 prediction against a constant target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pred` is not 1×1.
+    pub fn squared_error(&mut self, pred: VarId, target: f64) -> VarId {
+        let d = self.nodes[pred.0].value.item() - target;
+        self.push(Op::SquaredError(pred, target), Tensor::scalar(d * d))
+    }
+
+    fn pool_value(&self, parts: &[VarId], pool: Pool) -> Tensor {
+        assert!(!parts.is_empty(), "pooling needs at least one part");
+        let first = &self.nodes[parts[0].0].value;
+        let (rows, cols) = (first.rows(), first.cols());
+        let mut out = first.clone();
+        for &p in &parts[1..] {
+            let t = &self.nodes[p.0].value;
+            assert_eq!((t.rows(), t.cols()), (rows, cols), "pool shape mismatch");
+            for (o, &v) in out.data_mut().iter_mut().zip(t.data()) {
+                match pool {
+                    Pool::Mean | Pool::Sum => *o += v,
+                    Pool::Max => *o = o.max(v),
+                    Pool::Min => *o = o.min(v),
+                }
+            }
+        }
+        if pool == Pool::Mean {
+            out = out.scale(1.0 / parts.len() as f64);
+        }
+        out
+    }
+
+    /// Runs the backward pass from `loss` (which must be 1×1), adding
+    /// parameter gradients into `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a 1×1 var.
+    pub fn backward(&self, loss: VarId, store: &mut ParamStore) {
+        assert_eq!(self.nodes[loss.0].value.len(), 1, "loss must be scalar");
+        let mut grads: Vec<Tensor> = self
+            .nodes
+            .iter()
+            .map(|n| Tensor::zeros(n.value.rows(), n.value.cols()))
+            .collect();
+        grads[loss.0] = Tensor::scalar(1.0);
+        for i in (0..self.nodes.len()).rev() {
+            if grads[i].norm() == 0.0 {
+                continue;
+            }
+            let g = grads[i].clone();
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(pid) => store.accumulate_grad(*pid, &g),
+                Op::MatVec(w, x) => {
+                    let wv = &self.nodes[w.0].value;
+                    let xv = &self.nodes[x.0].value;
+                    grads[w.0].add_assign(&g.outer(xv));
+                    grads[x.0].add_assign(&wv.t_matvec(&g));
+                }
+                Op::Add(a, b) => {
+                    grads[a.0].add_assign(&g);
+                    grads[b.0].add_assign(&g);
+                }
+                Op::Sub(a, b) => {
+                    grads[a.0].add_assign(&g);
+                    grads[b.0].add_assign(&g.scale(-1.0));
+                }
+                Op::Hadamard(a, b) => {
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    grads[a.0].add_assign(&g.hadamard(&bv));
+                    grads[b.0].add_assign(&g.hadamard(&av));
+                }
+                Op::Scale(s, x) => {
+                    let k = self.nodes[s.0].value.item();
+                    let xv = &self.nodes[x.0].value;
+                    let ds = g.hadamard(xv).sum();
+                    grads[s.0].add_assign(&Tensor::scalar(ds));
+                    grads[x.0].add_assign(&g.scale(k));
+                }
+                Op::Relu(x) => {
+                    let xv = &self.nodes[x.0].value;
+                    let masked = Tensor::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.data()
+                            .iter()
+                            .zip(xv.data())
+                            .map(|(&gv, &v)| if v > 0.0 { gv } else { 0.0 })
+                            .collect(),
+                    );
+                    grads[x.0].add_assign(&masked);
+                }
+                Op::Recip(x) => {
+                    let xv = &self.nodes[x.0].value;
+                    let dx = Tensor::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.data()
+                            .iter()
+                            .zip(xv.data())
+                            .map(|(&gv, &v)| {
+                                if v.abs() < RECIP_EPS {
+                                    0.0
+                                } else {
+                                    -gv / (v * v)
+                                }
+                            })
+                            .collect(),
+                    );
+                    grads[x.0].add_assign(&dx);
+                }
+                Op::Concat(parts) => {
+                    let mut offset = 0;
+                    for &p in parts {
+                        let len = self.nodes[p.0].value.len();
+                        let slice =
+                            Tensor::vector(g.data()[offset..offset + len].to_vec());
+                        grads[p.0].add_assign(&slice);
+                        offset += len;
+                    }
+                }
+                Op::PoolMean(parts) => {
+                    let share = g.scale(1.0 / parts.len() as f64);
+                    for &p in parts {
+                        grads[p.0].add_assign(&share);
+                    }
+                }
+                Op::PoolSum(parts) => {
+                    for &p in parts {
+                        grads[p.0].add_assign(&g);
+                    }
+                }
+                Op::PoolMax(parts) => self.pool_extreme_backward(parts, i, &g, &mut grads, true),
+                Op::PoolMin(parts) => self.pool_extreme_backward(parts, i, &g, &mut grads, false),
+                Op::SquaredError(x, target) => {
+                    let d = self.nodes[x.0].value.item() - target;
+                    grads[x.0].add_assign(&Tensor::scalar(2.0 * d * g.item()));
+                }
+            }
+        }
+    }
+
+    /// Routes max/min-pool gradients to the element that achieved the
+    /// extremum (first wins on ties).
+    fn pool_extreme_backward(
+        &self,
+        parts: &[VarId],
+        out_idx: usize,
+        g: &Tensor,
+        grads: &mut [Tensor],
+        is_max: bool,
+    ) {
+        let out = &self.nodes[out_idx].value;
+        for k in 0..out.len() {
+            let target = out.data()[k];
+            for &p in parts {
+                let v = self.nodes[p.0].value.data()[k];
+                let hit = if is_max { v >= target } else { v <= target };
+                if hit {
+                    grads[p.0].data_mut()[k] += g.data()[k];
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pool {
+    Mean,
+    Max,
+    Min,
+    Sum,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of the gradient of `loss_fn` w.r.t. every
+    /// weight of every parameter.
+    fn check_grads(
+        store: &mut ParamStore,
+        params: &[ParamId],
+        loss_fn: &dyn Fn(&mut Graph, &ParamStore) -> VarId,
+    ) {
+        // Analytic gradients.
+        store.zero_grads();
+        let mut g = Graph::new();
+        let loss = loss_fn(&mut g, store);
+        g.backward(loss, store);
+        let analytic: Vec<Tensor> = params.iter().map(|&p| store.grad(p).clone()).collect();
+
+        let eps = 1e-5;
+        for (pi, &p) in params.iter().enumerate() {
+            for k in 0..store.value(p).len() {
+                let orig = store.value(p).data()[k];
+                let probe = |store: &ParamStore, w: f64| {
+                    let mut s = store.clone();
+                    let mut t = s.value(p).clone();
+                    t.data_mut()[k] = w;
+                    s.set_value(p, t);
+                    let mut g = Graph::new();
+                    let l = loss_fn(&mut g, &s);
+                    g.value(l).item()
+                };
+                let numeric = (probe(store, orig + eps) - probe(store, orig - eps)) / (2.0 * eps);
+                let got = analytic[pi].data()[k];
+                assert!(
+                    (numeric - got).abs() < 1e-4 * (1.0 + numeric.abs()),
+                    "param {pi} weight {k}: numeric {numeric} vs analytic {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_and_mse_gradcheck() {
+        let mut store = ParamStore::new(3);
+        let w = store.alloc(2, 3);
+        let r = store.alloc(1, 2);
+        let loss_fn = move |g: &mut Graph, s: &ParamStore| {
+            let wv = g.param(s, w);
+            let rv = g.param(s, r);
+            let x = g.input(Tensor::vector(vec![0.5, -1.0, 2.0]));
+            let h = g.matvec(wv, x);
+            let h = g.relu(h);
+            let y = g.matvec(rv, h);
+            g.squared_error(y, 1.5)
+        };
+        check_grads(&mut store, &[w, r], &loss_fn);
+    }
+
+    #[test]
+    fn pooling_gradcheck() {
+        let mut store = ParamStore::new(5);
+        let w = store.alloc(2, 6);
+        let loss_fn = move |g: &mut Graph, s: &ParamStore| {
+            let wv = g.param(s, w);
+            let a = g.input(Tensor::vector(vec![1.0, 2.0]));
+            let b = g.input(Tensor::vector(vec![-1.0, 4.0]));
+            let c = g.input(Tensor::vector(vec![0.5, -3.0]));
+            let mean = g.pool_mean(vec![a, b, c]);
+            let max = g.pool_max(vec![a, b, c]);
+            let min = g.pool_min(vec![a, b, c]);
+            let cat = g.concat(vec![mean, max, min]);
+            let h = g.matvec(wv, cat);
+            let s2 = g.pool_sum(vec![h]);
+            let first = g.input(Tensor::from_vec(1, 2, vec![1.0, 1.0]));
+            let y = g.matvec(first, s2);
+            g.squared_error(y, 0.3)
+        };
+        check_grads(&mut store, &[w], &loss_fn);
+    }
+
+    #[test]
+    fn recip_scale_hadamard_gradcheck() {
+        let mut store = ParamStore::new(8);
+        let w = store.alloc(1, 2);
+        let loss_fn = move |g: &mut Graph, s: &ParamStore| {
+            let wv = g.param(s, w);
+            let x = g.input(Tensor::vector(vec![2.0, -0.5]));
+            let r = g.recip(x);
+            let sc = g.matvec(wv, r); // scalar
+            let y0 = g.input(Tensor::vector(vec![1.0, 3.0]));
+            let scaled = g.scale(sc, y0);
+            let h = g.hadamard(scaled, y0);
+            let ones = g.input(Tensor::from_vec(1, 2, vec![1.0, 1.0]));
+            let y = g.matvec(ones, h);
+            g.squared_error(y, -0.2)
+        };
+        check_grads(&mut store, &[w], &loss_fn);
+    }
+
+    #[test]
+    fn recip_guard_at_zero() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::vector(vec![0.0, 2.0]));
+        let r = g.recip(x);
+        assert_eq!(g.value(r).data(), &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn sub_backward() {
+        let mut store = ParamStore::new(2);
+        let w = store.alloc(1, 2);
+        let loss_fn = move |g: &mut Graph, s: &ParamStore| {
+            let wv = g.param(s, w);
+            let a = g.input(Tensor::vector(vec![1.0, 2.0]));
+            let b = g.input(Tensor::vector(vec![3.0, -1.0]));
+            let d = g.sub(a, b);
+            let y = g.matvec(wv, d);
+            g.squared_error(y, 0.0)
+        };
+        check_grads(&mut store, &[w], &loss_fn);
+    }
+
+    #[test]
+    fn value_access() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::scalar(2.0));
+        let b = g.input(Tensor::scalar(3.0));
+        let c = g.add(a, b);
+        assert_eq!(g.value(c).item(), 5.0);
+        assert_eq!(g.len(), 3);
+    }
+}

@@ -1,0 +1,243 @@
+//! Plain-text serialisation of parameter stores.
+//!
+//! Training is the expensive one-off step of the LISA pipeline (the paper
+//! retrains per accelerator); persisting the learned weights lets a
+//! deployment reuse them across compiler invocations. The format is a
+//! deliberately simple line-oriented text format — no external
+//! dependencies, stable across platforms, easy to diff:
+//!
+//! ```text
+//! lisa-gnn-params v1
+//! tensors <count>
+//! tensor <rows> <cols>
+//! <row-major f64 values, one line per row>
+//! ...
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ParamStore, Tensor};
+
+/// Errors produced while parsing serialised parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseParamsError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A structural line (`tensors`/`tensor`) was malformed.
+    BadStructure {
+        /// Line number (1-based).
+        line: usize,
+    },
+    /// A value failed to parse as `f64`.
+    BadValue {
+        /// Line number (1-based).
+        line: usize,
+    },
+    /// Fewer tensors/rows than declared.
+    UnexpectedEof,
+    /// The tensor shapes do not match the receiving store.
+    ShapeMismatch {
+        /// Index of the offending tensor.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ParseParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseParamsError::BadHeader => write!(f, "missing `lisa-gnn-params v1` header"),
+            ParseParamsError::BadStructure { line } => {
+                write!(f, "malformed structure at line {line}")
+            }
+            ParseParamsError::BadValue { line } => {
+                write!(f, "unparseable value at line {line}")
+            }
+            ParseParamsError::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseParamsError::ShapeMismatch { index } => {
+                write!(f, "tensor {index} shape does not match the target store")
+            }
+        }
+    }
+}
+
+impl Error for ParseParamsError {}
+
+/// Serialises every tensor of the store.
+///
+/// # Example
+///
+/// ```
+/// use lisa_gnn::{ParamStore, io};
+///
+/// let mut store = ParamStore::new(1);
+/// store.alloc(2, 3);
+/// let text = io::store_to_text(&store);
+/// let mut restored = ParamStore::new(99);
+/// restored.alloc(2, 3);
+/// io::load_store_from_text(&mut restored, &text)?;
+/// # Ok::<(), lisa_gnn::io::ParseParamsError>(())
+/// ```
+pub fn store_to_text(store: &ParamStore) -> String {
+    let mut out = String::from("lisa-gnn-params v1\n");
+    out.push_str(&format!("tensors {}\n", store.len()));
+    for i in 0..store.len() {
+        let t = store.value(crate::params::param_id_for_io(i));
+        out.push_str(&format!("tensor {} {}\n", t.rows(), t.cols()));
+        for r in 0..t.rows() {
+            let row: Vec<String> = (0..t.cols())
+                .map(|c| format!("{:?}", t.get(r, c)))
+                .collect();
+            out.push_str(&row.join(" "));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Loads serialised values into an existing store whose tensors must have
+/// identical shapes (i.e. a freshly constructed model of the same
+/// architecture).
+///
+/// # Errors
+///
+/// Returns a [`ParseParamsError`] on malformed input or shape mismatch;
+/// the store is left unchanged on error.
+pub fn load_store_from_text(
+    store: &mut ParamStore,
+    text: &str,
+) -> Result<(), ParseParamsError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseParamsError::UnexpectedEof)?;
+    if header.trim() != "lisa-gnn-params v1" {
+        return Err(ParseParamsError::BadHeader);
+    }
+    let (ln, counts) = lines.next().ok_or(ParseParamsError::UnexpectedEof)?;
+    let count: usize = counts
+        .strip_prefix("tensors ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or(ParseParamsError::BadStructure { line: ln + 1 })?;
+    if count != store.len() {
+        return Err(ParseParamsError::ShapeMismatch { index: 0 });
+    }
+
+    let mut parsed: Vec<Tensor> = Vec::with_capacity(count);
+    for index in 0..count {
+        let (ln, shape) = lines.next().ok_or(ParseParamsError::UnexpectedEof)?;
+        let rest = shape
+            .strip_prefix("tensor ")
+            .ok_or(ParseParamsError::BadStructure { line: ln + 1 })?;
+        let mut parts = rest.split_whitespace();
+        let rows: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseParamsError::BadStructure { line: ln + 1 })?;
+        let cols: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseParamsError::BadStructure { line: ln + 1 })?;
+        let expected = store.value(crate::params::param_id_for_io(index));
+        if (expected.rows(), expected.cols()) != (rows, cols) {
+            return Err(ParseParamsError::ShapeMismatch { index });
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows {
+            let (ln, row) = lines.next().ok_or(ParseParamsError::UnexpectedEof)?;
+            for v in row.split_whitespace() {
+                let value: f64 = v
+                    .parse()
+                    .map_err(|_| ParseParamsError::BadValue { line: ln + 1 })?;
+                data.push(value);
+            }
+        }
+        if data.len() != rows * cols {
+            return Err(ParseParamsError::UnexpectedEof);
+        }
+        parsed.push(Tensor::from_vec(rows, cols, data));
+    }
+    for (i, t) in parsed.into_iter().enumerate() {
+        store.set_value(crate::params::param_id_for_io(i), t);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new(42);
+        s.alloc(2, 3);
+        s.alloc(1, 4);
+        s.alloc(3, 1);
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let store = sample_store();
+        let text = store_to_text(&store);
+        let mut fresh = ParamStore::new(7); // different init
+        fresh.alloc(2, 3);
+        fresh.alloc(1, 4);
+        fresh.alloc(3, 1);
+        load_store_from_text(&mut fresh, &text).unwrap();
+        for i in 0..store.len() {
+            let id = crate::params::param_id_for_io(i);
+            assert_eq!(store.value(id), fresh.value(id));
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact_for_awkward_floats() {
+        let mut store = ParamStore::new(0);
+        let id = store.alloc_with(Tensor::vector(vec![
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            -0.0,
+            1e300,
+        ]));
+        let text = store_to_text(&store);
+        let mut fresh = ParamStore::new(1);
+        fresh.alloc(4, 1);
+        load_store_from_text(&mut fresh, &text).unwrap();
+        for (a, b) in store.value(id).data().iter().zip(fresh.value(id).data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let mut s = sample_store();
+        assert_eq!(
+            load_store_from_text(&mut s, "nonsense\n"),
+            Err(ParseParamsError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected_and_store_untouched() {
+        let store = sample_store();
+        let text = store_to_text(&store);
+        let mut other = ParamStore::new(3);
+        other.alloc(2, 3);
+        other.alloc(1, 4);
+        other.alloc(2, 2); // wrong shape
+        let before = other.value(crate::params::param_id_for_io(0)).clone();
+        assert!(matches!(
+            load_store_from_text(&mut other, &text),
+            Err(ParseParamsError::ShapeMismatch { index: 2 })
+        ));
+        assert_eq!(&before, other.value(crate::params::param_id_for_io(0)));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let store = sample_store();
+        let text = store_to_text(&store);
+        let cut = &text[..text.len() / 2];
+        let mut s = sample_store();
+        assert!(load_store_from_text(&mut s, cut).is_err());
+    }
+}

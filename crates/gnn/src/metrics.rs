@@ -1,0 +1,208 @@
+//! Prediction-accuracy metrics matching the paper's definitions (§VI-B).
+//!
+//! "The prediction is accurate for same-level nodes association and
+//! spatial mapping distance if the difference between prediction and
+//! ground truth is not more than one. For temporal mapping distance, the
+//! prediction is accurate if the difference is not more than two [...].
+//! For scheduler order, the prediction is accurate if prediction and
+//! ground truth values are the same."
+
+/// The four label kinds of paper Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LabelKind {
+    /// Label 1 — schedule order.
+    ScheduleOrder,
+    /// Label 2 — same-level nodes association.
+    SameLevel,
+    /// Label 3 — spatial mapping distance.
+    Spatial,
+    /// Label 4 — temporal mapping distance.
+    Temporal,
+}
+
+impl LabelKind {
+    /// All four labels in Table I order.
+    pub const ALL: [LabelKind; 4] = [
+        LabelKind::ScheduleOrder,
+        LabelKind::SameLevel,
+        LabelKind::Spatial,
+        LabelKind::Temporal,
+    ];
+
+    /// Paper label id (1–4).
+    pub fn id(self) -> u8 {
+        match self {
+            LabelKind::ScheduleOrder => 1,
+            LabelKind::SameLevel => 2,
+            LabelKind::Spatial => 3,
+            LabelKind::Temporal => 4,
+        }
+    }
+
+    /// Display name as used in Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            LabelKind::ScheduleOrder => "schedule order",
+            LabelKind::SameLevel => "same-level nodes association",
+            LabelKind::Spatial => "spatial mapping distance",
+            LabelKind::Temporal => "temporal mapping distance",
+        }
+    }
+}
+
+/// Whether one prediction counts as accurate for the label kind.
+pub fn is_accurate(kind: LabelKind, prediction: f64, truth: f64) -> bool {
+    match kind {
+        // Schedule order is an ordinal: compare after rounding.
+        LabelKind::ScheduleOrder => prediction.round() == truth.round(),
+        LabelKind::SameLevel | LabelKind::Spatial => (prediction - truth).abs() <= 1.0,
+        LabelKind::Temporal => (prediction - truth).abs() <= 2.0,
+    }
+}
+
+/// Fraction of accurate predictions (0 for empty input).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(kind: LabelKind, predictions: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truths.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions
+        .iter()
+        .zip(truths)
+        .filter(|&(&p, &t)| is_accurate(kind, p, t))
+        .count();
+    hits as f64 / predictions.len() as f64
+}
+
+/// Mean squared error of a prediction set.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mse(predictions: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truths.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    predictions
+        .iter()
+        .zip(truths)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_order_requires_equality_after_rounding() {
+        assert!(is_accurate(LabelKind::ScheduleOrder, 2.4, 2.0));
+        assert!(!is_accurate(LabelKind::ScheduleOrder, 2.6, 2.0));
+    }
+
+    #[test]
+    fn spatial_tolerance_is_one() {
+        assert!(is_accurate(LabelKind::Spatial, 3.9, 3.0));
+        assert!(is_accurate(LabelKind::SameLevel, 2.0, 3.0));
+        assert!(!is_accurate(LabelKind::Spatial, 4.1, 3.0));
+    }
+
+    #[test]
+    fn temporal_tolerance_is_two() {
+        assert!(is_accurate(LabelKind::Temporal, 5.9, 4.0));
+        assert!(!is_accurate(LabelKind::Temporal, 6.1, 4.0));
+    }
+
+    #[test]
+    fn accuracy_fraction() {
+        let preds = [1.0, 2.0, 10.0];
+        let truths = [1.2, 2.9, 2.0];
+        let acc = accuracy(LabelKind::Spatial, &preds, &truths);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(LabelKind::Spatial, &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mse_basic() {
+        assert!((mse(&[1.0, 3.0], &[0.0, 1.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ids_match_table_one() {
+        assert_eq!(LabelKind::ALL.map(LabelKind::id), [1, 2, 3, 4]);
+    }
+}
+
+/// Mean absolute error of a prediction set.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mae(predictions: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truths.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    predictions
+        .iter()
+        .zip(truths)
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Coefficient of determination R² = 1 − SSE/SST. Degenerate targets
+/// (zero variance) yield 1.0 when predictions are exact, else 0.0.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn r_squared(predictions: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truths.len(), "length mismatch");
+    if truths.is_empty() {
+        return 0.0;
+    }
+    let mean = truths.iter().sum::<f64>() / truths.len() as f64;
+    let sst: f64 = truths.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    let sse: f64 = predictions
+        .iter()
+        .zip(truths)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
+    if sst == 0.0 {
+        return if sse == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - sse / sst
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    #[test]
+    fn mae_basic() {
+        assert!((mae(&[1.0, 3.0], &[0.0, 1.0]) - 1.5).abs() < 1e-12);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_baseline() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&t, &t) - 1.0).abs() < 1e-12);
+        // Predicting the mean everywhere gives R² = 0.
+        let mean_pred = [2.5; 4];
+        assert!(r_squared(&mean_pred, &t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_degenerate_targets() {
+        assert_eq!(r_squared(&[2.0, 2.0], &[2.0, 2.0]), 1.0);
+        assert_eq!(r_squared(&[1.0, 3.0], &[2.0, 2.0]), 0.0);
+    }
+}

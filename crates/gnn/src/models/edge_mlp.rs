@@ -1,0 +1,196 @@
+//! The edge-attribute MLP of Eq. 3 / Eq. 7 (labels 2 and 4).
+//!
+//! "We use multilayer perceptron (MLP), consisting of two convolution
+//! layers and one activation layer, to process the edge attributes. [...]
+//! We set the number of hidden channels equal to the number of edge
+//! attributes. We use ReLU as the activation layer." A final 1-channel
+//! readout produces the scalar label value.
+
+use crate::dataset::EdgeSample;
+use crate::train::{run_training, TrainConfig, TrainReport};
+use crate::{Graph, ParamId, ParamStore, Tensor, VarId};
+
+/// A two-layer perceptron over edge attributes with a scalar readout.
+///
+/// # Example
+///
+/// ```
+/// use lisa_gnn::models::EdgeMlp;
+/// use lisa_gnn::dataset::EdgeSample;
+/// use lisa_gnn::TrainConfig;
+///
+/// // Learn target = attrs[0] + attrs[1].
+/// let samples: Vec<EdgeSample> = (0..32)
+///     .map(|i| {
+///         let a = f64::from(i % 4);
+///         let b = f64::from(i % 3);
+///         EdgeSample { attrs: vec![a, b], target: a + b }
+///     })
+///     .collect();
+/// let mut net = EdgeMlp::new(2, 7);
+/// let config = TrainConfig { epochs: 400, lr: 5e-3, weight_decay: 0.0, ..TrainConfig::paper() };
+/// let report = net.train(&samples, &config);
+/// assert!(report.improved());
+/// let pred = net.predict(&[2.0, 1.0]);
+/// assert!((pred - 3.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdgeMlp {
+    store: ParamStore,
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+    readout: ParamId,
+    attr_dim: usize,
+}
+
+impl EdgeMlp {
+    /// Creates the network for edges with `attr_dim` attributes; hidden
+    /// width equals `attr_dim` per the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr_dim` is zero.
+    pub fn new(attr_dim: usize, seed: u64) -> Self {
+        assert!(attr_dim > 0, "attribute dimension must be positive");
+        let mut store = ParamStore::new(seed);
+        let w1 = store.alloc(attr_dim, attr_dim);
+        let b1 = store.alloc_with(Tensor::zeros(attr_dim, 1));
+        let w2 = store.alloc(attr_dim, attr_dim);
+        let b2 = store.alloc_with(Tensor::zeros(attr_dim, 1));
+        let readout = store.alloc(1, attr_dim);
+        EdgeMlp {
+            store,
+            w1,
+            b1,
+            w2,
+            b2,
+            readout,
+            attr_dim,
+        }
+    }
+
+    /// The expected attribute dimension.
+    pub fn attr_dim(&self) -> usize {
+        self.attr_dim
+    }
+
+    /// Total learnable weights.
+    pub fn weight_count(&self) -> usize {
+        self.store.weight_count()
+    }
+
+    /// Serialises the learned weights (see [`crate::io`]).
+    pub fn export_weights(&self) -> String {
+        crate::io::store_to_text(&self.store)
+    }
+
+    /// Restores weights exported by [`Self::export_weights`] from a model
+    /// of the same architecture.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or architecture mismatch; the model is
+    /// unchanged on error.
+    pub fn import_weights(&mut self, text: &str) -> Result<(), crate::io::ParseParamsError> {
+        crate::io::load_store_from_text(&mut self.store, text)
+    }
+
+    fn forward(&self, g: &mut Graph, store: &ParamStore, attrs: &[f64]) -> VarId {
+        assert_eq!(attrs.len(), self.attr_dim, "attribute dimension mismatch");
+        let x = g.input(Tensor::vector(attrs.to_vec()));
+        let w1 = g.param(store, self.w1);
+        let b1 = g.param(store, self.b1);
+        let h = g.matvec(w1, x);
+        let h = g.add(h, b1);
+        let h = g.relu(h);
+        let w2 = g.param(store, self.w2);
+        let b2 = g.param(store, self.b2);
+        let h = g.matvec(w2, h);
+        let h = g.add(h, b2);
+        let r = g.param(store, self.readout);
+        g.matvec(r, h)
+    }
+
+    /// Predicts the label value for one attribute vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute dimension differs from construction.
+    pub fn predict(&self, attrs: &[f64]) -> f64 {
+        let mut g = Graph::new();
+        let y = self.forward(&mut g, &self.store, attrs);
+        g.value(y).item()
+    }
+
+    /// Trains on the samples with MSE loss.
+    pub fn train(&mut self, samples: &[EdgeSample], config: &TrainConfig) -> TrainReport {
+        let net = self.clone();
+        run_training(&mut self.store, samples.len(), config, |g, store, i| {
+            let y = net.forward(g, store, &samples[i].attrs);
+            g.squared_error(y, samples[i].target)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_dataset(n: usize) -> Vec<EdgeSample> {
+        (0..n)
+            .map(|i| {
+                let a = f64::from((i % 5) as u32);
+                let b = f64::from((i % 3) as u32);
+                let c = f64::from((i % 7) as u32) * 0.5;
+                EdgeSample {
+                    attrs: vec![a, b, c],
+                    target: 2.0 * a - b + c,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fits_linear_function() {
+        let data = linear_dataset(60);
+        let mut net = EdgeMlp::new(3, 1);
+        let cfg = TrainConfig {
+            epochs: 400,
+            lr: 5e-3,
+            weight_decay: 0.0,
+            ..TrainConfig::paper()
+        };
+        let report = net.train(&data, &cfg);
+        assert!(report.final_loss() < 0.1, "loss {}", report.final_loss());
+        for s in &data[..10] {
+            assert!((net.predict(&s.attrs) - s.target).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = linear_dataset(20);
+        let cfg = TrainConfig::fast();
+        let mut a = EdgeMlp::new(3, 9);
+        let mut b = EdgeMlp::new(3, 9);
+        a.train(&data, &cfg);
+        b.train(&data, &cfg);
+        assert_eq!(a.predict(&[1.0, 2.0, 3.0]), b.predict(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn weight_count_matches_architecture() {
+        let net = EdgeMlp::new(4, 0);
+        // w1 16 + b1 4 + w2 16 + b2 4 + readout 4 = 44.
+        assert_eq!(net.weight_count(), 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute dimension mismatch")]
+    fn wrong_dim_panics() {
+        let net = EdgeMlp::new(3, 0);
+        let _ = net.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Dense row-major matrices/vectors for the GNN engine.
+//!
+//! The label networks are tiny (hidden dimensions of ten-odd channels), so
+//! a plain `Vec<f64>` matrix is the right tool: no BLAS, no SIMD, no
+//! generic element type — just correct, allocation-light arithmetic.
+
+use std::fmt;
+
+/// A dense `rows × cols` matrix of `f64`. Column vectors are `n × 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a tensor from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Creates a column vector.
+    pub fn vector(data: Vec<f64>) -> Self {
+        let rows = data.len();
+        Tensor {
+            rows,
+            cols: 1,
+            data,
+        }
+    }
+
+    /// Creates a 1×1 tensor holding a scalar.
+    pub fn scalar(v: f64) -> Self {
+        Tensor::from_vec(1, 1, vec![v])
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The single element of a 1×1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 1×1.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.len(), 1, "item() requires a 1x1 tensor");
+        self.data[0]
+    }
+
+    /// Matrix × column-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != x.rows` or `x` is not a column vector.
+    pub fn matvec(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols, 1, "matvec rhs must be a column vector");
+        assert_eq!(self.cols, x.rows, "matvec shape mismatch");
+        let mut out = Tensor::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, b) in row.iter().zip(&x.data) {
+                acc += a * b;
+            }
+            out.data[r] = acc;
+        }
+        out
+    }
+
+    /// Elementwise sum. Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference. Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise product. Panics on shape mismatch.
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// In-place accumulation `self += other`. Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales every element.
+    pub fn scale(&self, k: f64) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * k).collect(),
+        }
+    }
+
+    /// Outer product of two column vectors: `self * other^T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are column vectors.
+    pub fn outer(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, 1, "outer lhs must be a column vector");
+        assert_eq!(other.cols, 1, "outer rhs must be a column vector");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            for c in 0..other.rows {
+                out.data[r * other.rows + c] = self.data[r] * other.data[c];
+            }
+        }
+        out
+    }
+
+    /// Transposed matrix × column-vector product: `self^T * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != x.rows` or `x` is not a column vector.
+    pub fn t_matvec(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols, 1, "t_matvec rhs must be a column vector");
+        assert_eq!(self.rows, x.rows, "t_matvec shape mismatch");
+        let mut out = Tensor::zeros(self.cols, 1);
+        for r in 0..self.rows {
+            let xv = x.data[r];
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c] * xv;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_basic() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = Tensor::vector(vec![1.0, 0.0, -1.0]);
+        let y = a.matvec(&x);
+        assert_eq!(y.data(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn t_matvec_matches_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = Tensor::vector(vec![1.0, 2.0]);
+        let out = a.t_matvec(&y);
+        // A^T y = [1+8, 2+10, 3+12]
+        assert_eq!(out.data(), &[9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Tensor::vector(vec![1.0, 2.0]);
+        let b = Tensor::vector(vec![3.0, 4.0, 5.0]);
+        let o = a.outer(&b);
+        assert_eq!(o.rows(), 2);
+        assert_eq!(o.cols(), 3);
+        assert_eq!(o.get(1, 2), 10.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::vector(vec![1.0, -2.0]);
+        let b = Tensor::vector(vec![3.0, 4.0]);
+        assert_eq!(a.add(&b).data(), &[4.0, 2.0]);
+        assert_eq!(a.sub(&b).data(), &[-2.0, -6.0]);
+        assert_eq!(a.hadamard(&b).data(), &[3.0, -8.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, -4.0]);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Tensor::zeros(2, 1);
+        a.add_assign(&Tensor::vector(vec![1.0, 1.0]));
+        a.add_assign(&Tensor::vector(vec![0.5, -1.0]));
+        assert_eq!(a.data(), &[1.5, 0.0]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(7.5).item(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Tensor::vector(vec![1.0]);
+        let b = Tensor::vector(vec![1.0, 2.0]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn sum_and_norm() {
+        let a = Tensor::vector(vec![3.0, 4.0]);
+        assert_eq!(a.sum(), 7.0);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+    }
+}

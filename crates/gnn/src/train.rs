@@ -1,0 +1,163 @@
+//! Shared training configuration and loop helpers.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{Adam, Graph, ParamStore, VarId};
+
+/// Hyperparameters of a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the dataset (paper §VI-B: 500).
+    pub epochs: usize,
+    /// Gradient-accumulation batch size.
+    pub batch_size: usize,
+    /// Learning rate (paper: 0.001).
+    pub lr: f64,
+    /// Weight decay (paper: 0.0005).
+    pub weight_decay: f64,
+    /// Seed for epoch shuffling.
+    pub shuffle_seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's training recipe.
+    pub fn paper() -> Self {
+        TrainConfig {
+            epochs: 500,
+            batch_size: 32,
+            lr: 1e-3,
+            weight_decay: 5e-4,
+            shuffle_seed: 0,
+        }
+    }
+
+    /// Reduced recipe for tests.
+    pub fn fast() -> Self {
+        TrainConfig {
+            epochs: 60,
+            ..TrainConfig::paper()
+        }
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig::paper()
+    }
+}
+
+/// Per-run training diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean loss of each epoch.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Mean loss of the final epoch.
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_losses.last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Whether the loss improved from first to last epoch.
+    pub fn improved(&self) -> bool {
+        match (self.epoch_losses.first(), self.epoch_losses.last()) {
+            (Some(a), Some(b)) => b < a,
+            _ => false,
+        }
+    }
+}
+
+/// Generic minibatch loop: `loss_fn(graph, store, sample_index)` must build
+/// the forward pass for one sample and return its scalar loss var.
+///
+/// Loss gradients are averaged within each batch; one Adam step runs per
+/// batch.
+pub(crate) fn run_training(
+    store: &mut ParamStore,
+    sample_count: usize,
+    config: &TrainConfig,
+    mut loss_fn: impl FnMut(&mut Graph, &ParamStore, usize) -> VarId,
+) -> TrainReport {
+    let mut adam = Adam::new(config.lr, config.weight_decay);
+    let mut rng = StdRng::seed_from_u64(config.shuffle_seed);
+    let mut order: Vec<usize> = (0..sample_count).collect();
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        for batch in order.chunks(config.batch_size.max(1)) {
+            store.zero_grads();
+            let mut batch_graphs = Vec::with_capacity(batch.len());
+            for &i in batch {
+                let mut g = Graph::new();
+                let loss = loss_fn(&mut g, store, i);
+                epoch_loss += g.value(loss).item();
+                batch_graphs.push((g, loss));
+            }
+            // Average gradients over the batch by scaling each sample's
+            // contribution (backward of a pre-scaled loss).
+            for (g, loss) in &batch_graphs {
+                g.backward(*loss, store);
+            }
+            store.scale_grads(1.0 / batch.len() as f64);
+            adam.step(store);
+        }
+        epoch_losses.push(epoch_loss / sample_count.max(1) as f64);
+    }
+    TrainReport { epoch_losses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn training_fits_a_linear_map() {
+        // Learn y = 2a - b from samples.
+        let mut store = ParamStore::new(0);
+        let w = store.alloc(1, 2);
+        let data: Vec<(Vec<f64>, f64)> = (0..40)
+            .map(|i| {
+                let a = f64::from(i % 7) - 3.0;
+                let b = f64::from(i % 5) - 2.0;
+                (vec![a, b], 2.0 * a - b)
+            })
+            .collect();
+        let cfg = TrainConfig {
+            epochs: 300,
+            batch_size: 8,
+            lr: 0.02,
+            weight_decay: 0.0,
+            shuffle_seed: 1,
+        };
+        let report = run_training(&mut store, data.len(), &cfg, |g, s, i| {
+            let wv = g.param(s, w);
+            let x = g.input(Tensor::vector(data[i].0.clone()));
+            let y = g.matvec(wv, x);
+            g.squared_error(y, data[i].1)
+        });
+        assert!(report.improved());
+        assert!(report.final_loss() < 1e-3, "loss {}", report.final_loss());
+        let weights = store.value(w).data();
+        assert!((weights[0] - 2.0).abs() < 0.05);
+        assert!((weights[1] + 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let r = TrainReport {
+            epoch_losses: vec![3.0, 2.0, 1.0],
+        };
+        assert_eq!(r.final_loss(), 1.0);
+        assert!(r.improved());
+        let empty = TrainReport {
+            epoch_losses: vec![],
+        };
+        assert!(empty.final_loss().is_nan());
+        assert!(!empty.improved());
+    }
+}

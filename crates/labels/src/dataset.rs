@@ -1,0 +1,123 @@
+//! Conversion of labelled DFGs into GNN training samples, and the
+//! per-accelerator training-set container.
+
+use lisa_dfg::Dfg;
+use lisa_gnn::dataset::{ContextEdgeSample, EdgeSample, NodeGraphSample};
+use lisa_mapper::GuidanceLabels;
+
+use crate::attributes::DfgAttributes;
+
+/// The full training set of one accelerator, split per label network.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingSet {
+    /// Whole-graph samples for the schedule-order GNN (label 1).
+    pub node_graphs: Vec<NodeGraphSample>,
+    /// Dummy-edge samples for the same-level MLP (label 2).
+    pub same_level: Vec<EdgeSample>,
+    /// Context samples for the spatial-distance network (label 3).
+    pub spatial: Vec<ContextEdgeSample>,
+    /// Edge samples for the temporal-distance MLP (label 4).
+    pub temporal: Vec<EdgeSample>,
+}
+
+impl TrainingSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        TrainingSet::default()
+    }
+
+    /// Appends all samples derived from one labelled DFG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labels do not match the DFG's shape.
+    pub fn push(&mut self, dfg: &Dfg, labels: &GuidanceLabels) {
+        assert!(labels.matches(dfg), "labels do not match the DFG");
+        let attrs = DfgAttributes::generate(dfg);
+
+        self.node_graphs.push(NodeGraphSample {
+            node_attrs: attrs.node.clone(),
+            neighbors: DfgAttributes::adjacency(dfg),
+            targets: labels.schedule_order.clone(),
+        });
+
+        // Dummy edges come back in the same canonical order the labels use
+        // (both derive from `same_level::dummy_edges`).
+        debug_assert_eq!(attrs.dummy_edges.len(), labels.same_level.len());
+        for (i, (d, &(a, b, target))) in
+            attrs.dummy_edges.iter().zip(&labels.same_level).enumerate()
+        {
+            debug_assert_eq!((d.a, d.b), (a, b), "dummy edge order mismatch");
+            self.same_level.push(EdgeSample {
+                attrs: attrs.dummy[i].clone(),
+                target,
+            });
+        }
+
+        for e in dfg.edge_ids() {
+            self.spatial.push(ContextEdgeSample {
+                attrs: attrs.edge[e.index()].clone(),
+                neighbor_attrs: attrs.edge_neighborhood(dfg, e),
+                target: labels.spatial[e.index()],
+            });
+            self.temporal.push(EdgeSample {
+                attrs: attrs.edge[e.index()].clone(),
+                target: labels.temporal[e.index()],
+            });
+        }
+    }
+
+    /// Number of contributing DFGs.
+    pub fn graph_count(&self) -> usize {
+        self.node_graphs.len()
+    }
+
+    /// Whether the set holds any samples at all.
+    pub fn is_empty(&self) -> bool {
+        self.node_graphs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_dfg::polybench;
+
+    #[test]
+    fn push_produces_consistent_samples() {
+        let dfg = polybench::kernel("gemm").unwrap();
+        let labels = GuidanceLabels::initial(&dfg);
+        let mut set = TrainingSet::new();
+        set.push(&dfg, &labels);
+        assert_eq!(set.graph_count(), 1);
+        assert!(set.node_graphs[0].is_consistent());
+        assert_eq!(set.temporal.len(), dfg.edge_count());
+        assert_eq!(set.spatial.len(), dfg.edge_count());
+        assert_eq!(set.same_level.len(), labels.same_level.len());
+        // Every spatial sample carries a non-empty neighbourhood (the edge
+        // itself is always included).
+        assert!(set.spatial.iter().all(|s| !s.neighbor_attrs.is_empty()));
+    }
+
+    #[test]
+    fn multiple_dfgs_accumulate() {
+        let mut set = TrainingSet::new();
+        for name in ["gemm", "mvt", "atax"] {
+            let dfg = polybench::kernel(name).unwrap();
+            let labels = GuidanceLabels::initial(&dfg);
+            set.push(&dfg, &labels);
+        }
+        assert_eq!(set.graph_count(), 3);
+        assert!(!set.is_empty());
+        assert!(set.temporal.len() > 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels do not match")]
+    fn mismatched_labels_panic() {
+        let dfg = polybench::kernel("gemm").unwrap();
+        let other = polybench::kernel("syr2k").unwrap();
+        let labels = GuidanceLabels::initial(&other);
+        TrainingSet::new().push(&dfg, &labels);
+    }
+}

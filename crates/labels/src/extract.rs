@@ -1,0 +1,224 @@
+//! Label extraction from a completed mapping (paper §V-B).
+//!
+//! "We extract label values from the mapping result. [...] we normalize
+//! the execution time to the range from zero to the length of the longest
+//! path to get the schedule order. For the other three labels, we
+//! calculate the distance according to the mapping distance" — Manhattan
+//! on the 2D mesh, cycles along the temporal dimension.
+
+use lisa_dfg::same_level;
+use lisa_mapper::{GuidanceLabels, Mapping};
+
+/// Extracts the four guidance labels from a complete mapping.
+///
+/// # Panics
+///
+/// Panics if the mapping is not complete (every node placed).
+///
+/// # Example
+///
+/// ```
+/// use lisa_dfg::{Dfg, OpKind};
+/// use lisa_arch::{Accelerator, PeId};
+/// use lisa_mapper::Mapping;
+/// use lisa_labels::extract::labels_from_mapping;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dfg = Dfg::new("t");
+/// let a = dfg.add_node(OpKind::Load, "a");
+/// let b = dfg.add_node(OpKind::Store, "b");
+/// let e = dfg.add_data_edge(a, b)?;
+/// let acc = Accelerator::cgra("2x2", 2, 2);
+/// let mut m = Mapping::new(&dfg, &acc, 2)?;
+/// m.place(a, PeId::new(0), 0)?;
+/// m.place(b, PeId::new(1), 1)?;
+/// m.route_edge(e)?;
+/// let labels = labels_from_mapping(&m);
+/// assert_eq!(labels.spatial[e.index()], 1.0);  // adjacent PEs
+/// assert_eq!(labels.temporal[e.index()], 1.0); // one cycle apart
+/// # Ok(())
+/// # }
+/// ```
+pub fn labels_from_mapping(mapping: &Mapping<'_>) -> GuidanceLabels {
+    let dfg = mapping.dfg();
+    let acc = mapping.accelerator();
+    assert!(
+        mapping.unplaced_nodes().is_empty(),
+        "label extraction requires a fully placed mapping"
+    );
+
+    // Label 1: schedule order = execution time normalised to the critical
+    // path length.
+    let cp = f64::from(lisa_dfg::analysis::critical_path_len(dfg));
+    let makespan = f64::from(mapping.makespan().max(1));
+    let schedule_order = dfg
+        .node_ids()
+        .map(|v| {
+            let t = f64::from(mapping.placement(v).expect("placed").time);
+            t / makespan * (cp - 1.0).max(1.0)
+        })
+        .collect();
+
+    // Label 2: spatial distance between mapped same-level pairs.
+    let same_level = same_level::dummy_edges(dfg)
+        .iter()
+        .map(|d| {
+            let pa = mapping.placement(d.a).expect("placed");
+            let pb = mapping.placement(d.b).expect("placed");
+            (d.a, d.b, f64::from(acc.spatial_distance(pa.pe, pb.pe)))
+        })
+        .collect();
+
+    // Labels 3 and 4: spatial and temporal mapping distance per edge.
+    let mut spatial = Vec::with_capacity(dfg.edge_count());
+    let mut temporal = Vec::with_capacity(dfg.edge_count());
+    for e in dfg.edge_ids() {
+        let edge = dfg.edge(e);
+        let ps = mapping.placement(edge.src).expect("placed");
+        let pd = mapping.placement(edge.dst).expect("placed");
+        spatial.push(f64::from(acc.spatial_distance(ps.pe, pd.pe)));
+        let dst_eff = pd.time + edge.kind.distance() * mapping.ii();
+        temporal.push(f64::from(dst_eff) - f64::from(ps.time));
+    }
+
+    GuidanceLabels {
+        schedule_order,
+        same_level,
+        spatial,
+        temporal,
+    }
+}
+
+/// Element-wise average of several label sets over the same DFG — the
+/// paper combines candidate labels "using the average value of candidate
+/// labels (including the standard one)" (§V-B).
+///
+/// # Panics
+///
+/// Panics if `sets` is empty or the sets have mismatched shapes.
+pub fn average_labels(sets: &[GuidanceLabels]) -> GuidanceLabels {
+    assert!(!sets.is_empty(), "need at least one label set");
+    let n = sets.len() as f64;
+    let first = &sets[0];
+    let mut out = first.clone();
+    for s in &sets[1..] {
+        assert_eq!(s.schedule_order.len(), first.schedule_order.len());
+        assert_eq!(s.spatial.len(), first.spatial.len());
+        assert_eq!(s.same_level.len(), first.same_level.len());
+        for (o, v) in out.schedule_order.iter_mut().zip(&s.schedule_order) {
+            *o += v;
+        }
+        for (o, v) in out.spatial.iter_mut().zip(&s.spatial) {
+            *o += v;
+        }
+        for (o, v) in out.temporal.iter_mut().zip(&s.temporal) {
+            *o += v;
+        }
+        for (o, v) in out.same_level.iter_mut().zip(&s.same_level) {
+            debug_assert_eq!((o.0, o.1), (v.0, v.1), "pair order mismatch");
+            o.2 += v.2;
+        }
+    }
+    for v in &mut out.schedule_order {
+        *v /= n;
+    }
+    for v in &mut out.spatial {
+        *v /= n;
+    }
+    for v in &mut out.temporal {
+        *v /= n;
+    }
+    for v in &mut out.same_level {
+        v.2 /= n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_arch::{Accelerator, PeId};
+    use lisa_dfg::{Dfg, NodeId, OpKind};
+
+    fn mapped_diamond<'a>(
+        dfg: &'a Dfg,
+        acc: &'a Accelerator,
+    ) -> Mapping<'a> {
+        let mut m = Mapping::new(dfg, acc, 3).unwrap();
+        m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
+        m.place(NodeId::new(1), PeId::new(1), 1).unwrap();
+        m.place(NodeId::new(2), PeId::new(2), 1).unwrap();
+        m.place(NodeId::new(3), PeId::new(3), 2).unwrap();
+        for e in dfg.edge_ids() {
+            m.route_edge(e).unwrap();
+        }
+        m
+    }
+
+    fn diamond() -> Dfg {
+        let mut g = Dfg::new("d");
+        let a = g.add_node(OpKind::Load, "a");
+        let b = g.add_node(OpKind::Add, "b");
+        let c = g.add_node(OpKind::Mul, "c");
+        let d = g.add_node(OpKind::Store, "d");
+        g.add_data_edge(a, b).unwrap();
+        g.add_data_edge(a, c).unwrap();
+        g.add_data_edge(b, d).unwrap();
+        g.add_data_edge(c, d).unwrap();
+        g
+    }
+
+    #[test]
+    fn extraction_matches_geometry() {
+        let dfg = diamond();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let m = mapped_diamond(&dfg, &acc);
+        let labels = labels_from_mapping(&m);
+        // Edge a->b: PE0 -> PE1 distance 1, 1 cycle.
+        assert_eq!(labels.spatial[0], 1.0);
+        assert_eq!(labels.temporal[0], 1.0);
+        // b and c are same-level (children of a with common child d):
+        // PE1 (0,1) to PE2 (1,0): Manhattan 2.
+        assert_eq!(labels.same_level.len(), 1);
+        assert_eq!(labels.same_level[0].2, 2.0);
+        // Schedule order is normalised: source 0, sink = cp-1 = 2.
+        assert_eq!(labels.schedule_order[0], 0.0);
+        assert!((labels.schedule_order[3] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recurrence_edge_temporal_includes_ii() {
+        let mut g = Dfg::new("acc");
+        let x = g.add_node(OpKind::Add, "x");
+        let e = g.add_recurrence_edge(x, x, 1).unwrap();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&g, &acc, 2).unwrap();
+        m.place(x, PeId::new(0), 0).unwrap();
+        m.route_edge(e).unwrap();
+        let labels = labels_from_mapping(&m);
+        assert_eq!(labels.temporal[e.index()], 2.0); // distance * II
+        assert_eq!(labels.spatial[e.index()], 0.0);
+    }
+
+    #[test]
+    fn averaging_is_elementwise() {
+        let dfg = diamond();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let m = mapped_diamond(&dfg, &acc);
+        let l1 = labels_from_mapping(&m);
+        let mut l2 = l1.clone();
+        l2.spatial[0] = 3.0;
+        l2.schedule_order[1] += 1.0;
+        let avg = average_labels(&[l1.clone(), l2]);
+        assert!((avg.spatial[0] - 2.0).abs() < 1e-9);
+        assert!((avg.schedule_order[1] - (l1.schedule_order[1] + 0.5)).abs() < 1e-9);
+        // Untouched entries unchanged.
+        assert_eq!(avg.temporal, l1.temporal);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one label set")]
+    fn empty_average_panics() {
+        let _ = average_labels(&[]);
+    }
+}

@@ -1,0 +1,96 @@
+//! The label filter of paper §V-C.
+//!
+//! Not every generated label is worth training on: "We use a metric
+//! e = O + σ × N, where O represents how close the execution time of
+//! label-corresponding mapping is to the theoretical minimal execution
+//! time, N represents the number of candidate labels, and σ is a
+//! customized factor. [...] As long as we get the minimum II for a DFG,
+//! only one candidate label is sufficient to be used as training data."
+
+use crate::iter_gen::GeneratedLabels;
+
+/// Filter configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterConfig {
+    /// The σ weight on the candidate count.
+    pub sigma: f64,
+    /// Minimum `e` for inclusion.
+    pub threshold: f64,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig {
+            sigma: 0.1,
+            threshold: 0.9,
+        }
+    }
+}
+
+/// Closeness of the achieved II to the theoretical minimum: `MII / II`,
+/// in (0, 1], higher is better.
+pub fn optimality(gen: &GeneratedLabels) -> f64 {
+    f64::from(gen.mii) / f64::from(gen.best_ii.max(1))
+}
+
+/// The paper's quality metric `e = O + σ·N`.
+pub fn quality(gen: &GeneratedLabels, config: &FilterConfig) -> f64 {
+    optimality(gen) + config.sigma * gen.candidate_count as f64
+}
+
+/// Whether the generated labels enter the training set.
+///
+/// Optimal mappings (`II == MII`) are always kept, even with a single
+/// candidate; otherwise the metric must clear the threshold.
+pub fn accept(gen: &GeneratedLabels, config: &FilterConfig) -> bool {
+    gen.best_ii == gen.mii || quality(gen, config) >= config.threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_dfg::polybench;
+    use lisa_mapper::GuidanceLabels;
+
+    fn gen(best_ii: u32, mii: u32, candidates: usize) -> GeneratedLabels {
+        let dfg = polybench::kernel("doitgen").unwrap();
+        GeneratedLabels {
+            labels: GuidanceLabels::initial(&dfg),
+            best_ii,
+            mii,
+            candidate_count: candidates,
+        }
+    }
+
+    #[test]
+    fn optimal_mapping_always_accepted() {
+        let g = gen(2, 2, 1);
+        assert!(accept(&g, &FilterConfig::default()));
+        assert!((optimality(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn far_from_optimal_with_few_candidates_rejected() {
+        // II 8 vs MII 2: O = 0.25; one candidate: e = 0.35 < 0.9.
+        let g = gen(8, 2, 1);
+        assert!(!accept(&g, &FilterConfig::default()));
+    }
+
+    #[test]
+    fn many_candidates_can_compensate() {
+        // O = 0.5, 5 candidates: e = 1.0 >= 0.9.
+        let g = gen(4, 2, 5);
+        assert!(accept(&g, &FilterConfig::default()));
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let g = gen(4, 2, 2); // e = 0.7
+        assert!(!accept(&g, &FilterConfig::default()));
+        let loose = FilterConfig {
+            sigma: 0.1,
+            threshold: 0.6,
+        };
+        assert!(accept(&g, &loose));
+    }
+}

@@ -1,0 +1,48 @@
+//! Label machinery for the LISA reproduction: the Attributes Generator,
+//! label extraction from mappings, iterative training-data generation, the
+//! label filter, and the conversion into GNN training samples.
+//!
+//! This crate bridges the mapping substrate (`lisa-mapper`) and the
+//! learning stack (`lisa-gnn`):
+//!
+//! * [`attributes`] — §IV-A: derives 6 node, 5 edge, and 7 dummy-edge
+//!   attributes from graph structure;
+//! * [`extract`] — §V-B: reads the four labels back out of a completed
+//!   mapping (normalised execution time, Manhattan distances, cycle
+//!   distances);
+//! * [`iter_gen`] — §V-B: the iterative partial-label-aware SA loop that
+//!   produces candidate labels and combines them;
+//! * [`filter`] — §V-C: the `e = O + σ·N` quality filter;
+//! * [`dataset`] — packages labelled DFGs into per-network training sets.
+//!
+//! # Example
+//!
+//! ```
+//! use lisa_dfg::polybench;
+//! use lisa_arch::Accelerator;
+//! use lisa_labels::{attributes::DfgAttributes, iter_gen};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dfg = polybench::kernel("doitgen")?;
+//! let acc = Accelerator::cgra("4x4", 4, 4);
+//! let attrs = DfgAttributes::generate(&dfg);
+//! assert_eq!(attrs.node.len(), dfg.node_count());
+//!
+//! let config = iter_gen::IterGenConfig::fast();
+//! let generated = iter_gen::generate_labels(&dfg, &acc, &config)
+//!     .expect("doitgen maps on a 4x4 CGRA");
+//! assert!(generated.labels.matches(&dfg));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod attributes;
+pub mod dataset;
+pub mod extract;
+pub mod filter;
+pub mod iter_gen;
+
+pub use attributes::DfgAttributes;
+pub use dataset::TrainingSet;
+pub use filter::FilterConfig;
+pub use iter_gen::{generate_labels, GeneratedLabels, IterGenConfig};

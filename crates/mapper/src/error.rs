@@ -1,0 +1,105 @@
+//! Error types for placement and routing.
+
+use std::error::Error;
+use std::fmt;
+
+use lisa_dfg::{EdgeId, NodeId};
+use lisa_arch::PeId;
+
+/// Errors produced by placement and routing operations on a
+/// [`crate::Mapping`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MapperError {
+    /// The PE cannot execute the node's operation.
+    Unsupported {
+        /// Node being placed.
+        node: NodeId,
+        /// Target PE.
+        pe: PeId,
+    },
+    /// The FU slot at the target modulo cycle is already occupied.
+    SlotOccupied {
+        /// Node being placed.
+        node: NodeId,
+        /// Target PE.
+        pe: PeId,
+        /// Absolute schedule time requested.
+        time: u32,
+    },
+    /// The node is already placed; unplace it first.
+    AlreadyPlaced(NodeId),
+    /// A routing or query operation referenced an unplaced node.
+    NotPlaced(NodeId),
+    /// The edge is already routed; unroute it first.
+    AlreadyRouted(EdgeId),
+    /// The consumer is scheduled no later than the producer, so no route
+    /// of positive latency can exist.
+    BadTiming {
+        /// Edge being routed.
+        edge: EdgeId,
+        /// Producer's schedule time.
+        src_time: u32,
+        /// Effective consumer time (including recurrence distance).
+        dst_time: u32,
+    },
+    /// The router found no conflict-free path for the edge.
+    NoRoute(EdgeId),
+    /// The schedule time exceeds the mapping's schedule window.
+    TimeOutOfWindow {
+        /// Requested absolute time.
+        time: u32,
+        /// Exclusive upper bound of the window.
+        window: u32,
+    },
+}
+
+impl fmt::Display for MapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapperError::Unsupported { node, pe } => {
+                write!(f, "{pe} cannot execute node {}", node.index())
+            }
+            MapperError::SlotOccupied { node, pe, time } => write!(
+                f,
+                "FU slot of {pe} at time {time} occupied; cannot place node {}",
+                node.index()
+            ),
+            MapperError::AlreadyPlaced(n) => write!(f, "node {} already placed", n.index()),
+            MapperError::NotPlaced(n) => write!(f, "node {} is not placed", n.index()),
+            MapperError::AlreadyRouted(e) => write!(f, "edge {} already routed", e.index()),
+            MapperError::BadTiming {
+                edge,
+                src_time,
+                dst_time,
+            } => write!(
+                f,
+                "edge {} has non-causal timing: src at {src_time}, dst at {dst_time}",
+                edge.index()
+            ),
+            MapperError::NoRoute(e) => write!(f, "no route found for edge {}", e.index()),
+            MapperError::TimeOutOfWindow { time, window } => {
+                write!(f, "time {time} outside schedule window {window}")
+            }
+        }
+    }
+}
+
+impl Error for MapperError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            MapperError::NotPlaced(NodeId::new(1)),
+            MapperError::NoRoute(EdgeId::new(2)),
+            MapperError::TimeOutOfWindow { time: 9, window: 8 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Deterministic list-scheduling mapper.
+//!
+//! The paper's taxonomy (§I) separates meta-heuristics (SA), mathematical
+//! optimisation (ILP), and *hybrid heuristics* that schedule greedily with
+//! architectural cost functions. This module provides a representative of
+//! the third class: nodes are placed in height-based priority order; each
+//! node takes the feasible `(pe, time)` slot with the cheapest immediate
+//! placement + routing cost; a small amount of backtracking (ripping the
+//! most recent placements) recovers from dead ends. It is fully
+//! deterministic — useful both as a baseline and as a fast first attempt
+//! before annealing.
+
+use lisa_arch::Accelerator;
+use lisa_dfg::{analysis, Dfg, EdgeId, NodeId};
+
+use crate::sa::candidate_slots;
+use crate::schedule::IiMapper;
+use crate::Mapping;
+
+/// Configuration of the greedy mapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GreedyParams {
+    /// How many most-recent placements to rip up when a node has no
+    /// feasible slot, per retry.
+    pub backtrack_depth: usize,
+    /// Maximum rip-up retries before giving up on the II.
+    pub max_backtracks: usize,
+}
+
+impl Default for GreedyParams {
+    fn default() -> Self {
+        GreedyParams {
+            backtrack_depth: 3,
+            max_backtracks: 24,
+        }
+    }
+}
+
+/// The deterministic list-scheduling mapper.
+///
+/// # Example
+///
+/// ```
+/// use lisa_dfg::polybench;
+/// use lisa_arch::Accelerator;
+/// use lisa_mapper::{greedy::GreedyMapper, schedule::IiSearch};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dfg = polybench::kernel("doitgen")?;
+/// let acc = Accelerator::cgra("4x4", 4, 4);
+/// let mut greedy = GreedyMapper::default();
+/// let outcome = IiSearch { max_ii: Some(10) }.run(&mut greedy, &dfg, &acc);
+/// assert!(outcome.mapped());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GreedyMapper {
+    params: GreedyParams,
+}
+
+impl GreedyMapper {
+    /// Creates a mapper with explicit parameters.
+    pub fn new(params: GreedyParams) -> Self {
+        GreedyMapper { params }
+    }
+
+    /// The backtracking parameters.
+    pub fn params(&self) -> &GreedyParams {
+        &self.params
+    }
+}
+
+/// Height-based priority: nodes on long downward paths first, ties broken
+/// by ASAP then id — the classic modulo-scheduling list order.
+fn priority_order(dfg: &Dfg) -> Vec<NodeId> {
+    let asap = analysis::asap(dfg);
+    let mut height = vec![0u32; dfg.node_count()];
+    let order = dfg.topological_order().expect("valid DFGs are acyclic");
+    for &v in order.iter().rev() {
+        for s in dfg.data_successors(v) {
+            height[v.index()] = height[v.index()].max(height[s.index()] + 1);
+        }
+    }
+    let mut nodes: Vec<NodeId> = dfg.node_ids().collect();
+    nodes.sort_by_key(|n| {
+        (
+            asap[n.index()],
+            std::cmp::Reverse(height[n.index()]),
+            n.index(),
+        )
+    });
+    nodes
+}
+
+/// Tries to place `node` on its cheapest feasible slot, routing all edges
+/// to already-placed neighbours. Returns the routed edges on success.
+fn place_cheapest(mapping: &mut Mapping<'_>, node: NodeId) -> Option<Vec<EdgeId>> {
+    let dfg = mapping.dfg();
+    let mut candidates = candidate_slots(mapping, node);
+    // Deterministic cost order: earliest time, then the summed distance to
+    // placed neighbours, then PE id.
+    candidates.sort_by_key(|&(pe, t)| {
+        let mut dist = 0u32;
+        for p in dfg.predecessors(node).chain(dfg.successors(node)) {
+            if let Some(pp) = mapping.placement(p) {
+                dist += mapping.accelerator().spatial_distance(pe, pp.pe);
+            }
+        }
+        (t, dist, pe.index())
+    });
+    'candidates: for (pe, t) in candidates {
+        if mapping.place(node, pe, t).is_err() {
+            continue;
+        }
+        let incident: Vec<EdgeId> = dfg
+            .in_edges(node)
+            .iter()
+            .chain(dfg.out_edges(node))
+            .copied()
+            .collect();
+        let mut routed = Vec::new();
+        for e in incident {
+            if mapping.route(e).is_some() {
+                continue;
+            }
+            let edge = dfg.edge(e);
+            if mapping.placement(edge.src).is_none() || mapping.placement(edge.dst).is_none() {
+                continue;
+            }
+            if mapping.route_edge(e).is_err() {
+                for r in routed {
+                    mapping.unroute_edge(r);
+                }
+                mapping.unplace(node);
+                continue 'candidates;
+            }
+            routed.push(e);
+        }
+        return Some(routed);
+    }
+    None
+}
+
+impl IiMapper for GreedyMapper {
+    fn name(&self) -> &str {
+        "Greedy"
+    }
+
+    fn map_at_ii<'a>(
+        &mut self,
+        dfg: &'a Dfg,
+        acc: &'a Accelerator,
+        ii: u32,
+    ) -> Option<Mapping<'a>> {
+        let mut mapping = Mapping::new(dfg, acc, ii).ok()?;
+        let order = priority_order(dfg);
+        let mut placed_stack: Vec<NodeId> = Vec::with_capacity(order.len());
+        let mut idx = 0;
+        let mut backtracks = 0;
+        while idx < order.len() {
+            let node = order[idx];
+            if mapping.placement(node).is_some() {
+                idx += 1;
+                continue;
+            }
+            match place_cheapest(&mut mapping, node) {
+                Some(_) => {
+                    placed_stack.push(node);
+                    idx += 1;
+                }
+                None => {
+                    if backtracks >= self.params.max_backtracks || placed_stack.is_empty() {
+                        return None;
+                    }
+                    backtracks += 1;
+                    // Rip up the most recent placements and retry from the
+                    // earliest ripped node.
+                    let rip = self.params.backtrack_depth.min(placed_stack.len());
+                    for _ in 0..rip {
+                        let victim = placed_stack.pop().expect("stack non-empty");
+                        mapping.unplace(victim);
+                    }
+                    idx = order
+                        .iter()
+                        .position(|n| mapping.placement(*n).is_none())
+                        .expect("at least the current node is unplaced");
+                }
+            }
+        }
+        mapping.is_complete().then_some(mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::IiSearch;
+    use lisa_dfg::polybench;
+
+    #[test]
+    fn greedy_maps_all_polybench_kernels_on_4x4() {
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        for dfg in polybench::all_kernels() {
+            let mut greedy = GreedyMapper::default();
+            let (outcome, mapping) =
+                IiSearch { max_ii: Some(16) }.run_with_mapping(&mut greedy, &dfg, &acc);
+            assert!(outcome.mapped(), "{} failed", dfg.name());
+            mapping.unwrap().verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        let dfg = polybench::kernel("gemm").unwrap();
+        let a = GreedyMapper::default().map_at_ii(&dfg, &acc, 3);
+        let b = GreedyMapper::default().map_at_ii(&dfg, &acc, 3);
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                for n in dfg.node_ids() {
+                    assert_eq!(x.placement(n), y.placement(n));
+                }
+            }
+            (None, None) => {}
+            _ => panic!("nondeterministic greedy"),
+        }
+    }
+
+    #[test]
+    fn priority_order_is_topological_within_levels() {
+        let dfg = polybench::kernel("gemm").unwrap();
+        let order = priority_order(&dfg);
+        let asap = analysis::asap(&dfg);
+        for w in order.windows(2) {
+            assert!(asap[w[0].index()] <= asap[w[1].index()]);
+        }
+    }
+
+    #[test]
+    fn greedy_respects_infeasible_ii() {
+        let mut g = Dfg::new("five");
+        for i in 0..5 {
+            g.add_node(lisa_dfg::OpKind::Add, format!("n{i}"));
+        }
+        let acc = Accelerator::cgra("1x1", 1, 1);
+        assert!(GreedyMapper::default().map_at_ii(&g, &acc, 2).is_none());
+    }
+
+    #[test]
+    fn greedy_is_fast() {
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        let dfg = polybench::kernel("syr2k").unwrap();
+        let start = std::time::Instant::now();
+        let mut greedy = GreedyMapper::default();
+        let _ = IiSearch { max_ii: Some(16) }.run(&mut greedy, &dfg, &acc);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "greedy took {:?}",
+            start.elapsed()
+        );
+    }
+}

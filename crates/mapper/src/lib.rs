@@ -1,0 +1,53 @@
+//! Mapping engines for spatial accelerators.
+//!
+//! This crate implements every mapper the LISA paper evaluates:
+//!
+//! * [`sa`] — vanilla simulated annealing in the CGRA-ME style (the paper's
+//!   SA baseline), including the 10×-movement "SA-M" variant of Fig. 13;
+//! * [`label_sa`] — the label-aware simulated annealing of Algorithm 1,
+//!   plus the routing-priority-only ablation of Fig. 12;
+//! * [`exact`] — an exhaustive branch-and-bound mapper standing in for the
+//!   ILP baseline (see DESIGN.md "Substitutions");
+//! * [`greedy`] — a deterministic list-scheduling mapper (the classic
+//!   non-stochastic heuristic class the paper contrasts against);
+//! * [`display`] — time-extended grid rendering of mappings (Fig. 5
+//!   style);
+//! * [`schedule`] — the II search driver shared by all mappers (start at
+//!   the minimum II, increment on failure, paper §VI).
+//!
+//! All mappers operate on a shared [`Mapping`] state (placement + routing
+//! over the modulo routing resource graph) and a common Dijkstra
+//! [`router`].
+//!
+//! # Example
+//!
+//! ```
+//! use lisa_dfg::polybench;
+//! use lisa_arch::Accelerator;
+//! use lisa_mapper::{schedule::IiSearch, sa::SaMapper, SaParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dfg = polybench::kernel("doitgen")?;
+//! let acc = Accelerator::cgra("4x4", 4, 4);
+//! let mut mapper = SaMapper::new(SaParams::fast(), 7);
+//! let outcome = IiSearch::default().run(&mut mapper, &dfg, &acc);
+//! assert!(outcome.ii.is_some(), "doitgen maps on a 4x4 CGRA");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod display;
+mod error;
+pub mod exact;
+pub mod greedy;
+pub mod label_sa;
+mod mapping;
+pub mod router;
+pub mod sa;
+pub mod schedule;
+
+pub use error::MapperError;
+pub use label_sa::{GuidanceLabels, LabelMode, LabelSaMapper};
+pub use mapping::{Mapping, Placement, RouteStep};
+pub use sa::{SaMapper, SaParams};
+pub use schedule::{IiMapper, IiSearch, MappingOutcome};

@@ -1,0 +1,801 @@
+//! Mapping state: placements, routes, and MRRG occupancy.
+//!
+//! A [`Mapping`] binds one DFG to one `(accelerator, II)` pair and tracks
+//! which MRRG resources are in use. All mappers (SA, label-aware SA, exact
+//! branch-and-bound) mutate a `Mapping` through the same four operations —
+//! [`place`](Mapping::place), [`unplace`](Mapping::unplace),
+//! [`route_edge`](Mapping::route_edge), [`unroute_edge`](Mapping::unroute_edge)
+//! — so resource semantics are enforced in exactly one place.
+
+use lisa_arch::power::Activity;
+use lisa_arch::{Accelerator, ArchError, Mrrg, PeId, Resource};
+use lisa_dfg::{Dfg, EdgeId, NodeId};
+
+use crate::router;
+use crate::MapperError;
+
+/// Where and when a node executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The PE whose FU executes the operation.
+    pub pe: PeId,
+    /// Absolute schedule time (cycles from iteration start). Resource
+    /// occupancy folds this modulo II.
+    pub time: u32,
+}
+
+/// One occupied step of a route: `resource` holds the value during `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteStep {
+    /// The occupied resource.
+    pub resource: Resource,
+    /// Absolute cycle during which the value sits on the resource.
+    pub time: u32,
+}
+
+/// Occupancy of one `(resource, modulo slot)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cell {
+    Free,
+    /// An operation executes here.
+    Op(NodeId),
+    /// Route traffic: the value produced by `value` passes at absolute
+    /// `time`; `refs` edges share the step (net-based fanout reuse).
+    Route { value: NodeId, time: u32, refs: u16 },
+}
+
+/// A (possibly partial) mapping of a DFG onto an accelerator at a fixed II.
+///
+/// # Example
+///
+/// ```
+/// use lisa_dfg::{Dfg, OpKind};
+/// use lisa_arch::{Accelerator, PeId};
+/// use lisa_mapper::Mapping;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dfg = Dfg::new("t");
+/// let a = dfg.add_node(OpKind::Load, "a");
+/// let b = dfg.add_node(OpKind::Store, "b");
+/// let e = dfg.add_data_edge(a, b)?;
+///
+/// let acc = Accelerator::cgra("2x2", 2, 2);
+/// let mut m = Mapping::new(&dfg, &acc, 1)?;
+/// m.place(a, PeId::new(0), 0)?;
+/// m.place(b, PeId::new(1), 1)?;
+/// m.route_edge(e)?;
+/// assert!(m.is_complete());
+/// m.verify()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mapping<'a> {
+    dfg: &'a Dfg,
+    mrrg: Mrrg<'a>,
+    window: u32,
+    asap: Vec<u32>,
+    placements: Vec<Option<Placement>>,
+    routes: Vec<Option<Vec<RouteStep>>>,
+    cells: Vec<Cell>,
+}
+
+impl<'a> Mapping<'a> {
+    /// Extra schedule slack beyond the critical path, in multiples of II.
+    /// Placement times live in `[0, critical_path + SLACK_IIS * II)`.
+    pub const SLACK_IIS: u32 = 2;
+
+    /// Creates an empty mapping for `dfg` on `acc` at initiation interval
+    /// `ii`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the II is zero or exceeds the accelerator's configuration
+    /// depth.
+    pub fn new(dfg: &'a Dfg, acc: &'a Accelerator, ii: u32) -> Result<Self, ArchError> {
+        let mrrg = Mrrg::new(acc, ii)?;
+        let cells = vec![Cell::Free; mrrg.resource_count()];
+        let asap = lisa_dfg::analysis::asap(dfg);
+        let window = asap.iter().copied().max().map_or(1, |m| m + 1) + Self::SLACK_IIS * ii;
+        Ok(Mapping {
+            dfg,
+            mrrg,
+            window,
+            asap,
+            placements: vec![None; dfg.node_count()],
+            routes: vec![None; dfg.edge_count()],
+            cells,
+        })
+    }
+
+    /// The DFG being mapped.
+    pub fn dfg(&self) -> &'a Dfg {
+        self.dfg
+    }
+
+    /// The accelerator being mapped onto.
+    pub fn accelerator(&self) -> &Accelerator {
+        self.mrrg.accelerator()
+    }
+
+    /// The MRRG underlying this mapping.
+    pub fn mrrg(&self) -> &Mrrg<'a> {
+        &self.mrrg
+    }
+
+    /// The initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.mrrg.ii()
+    }
+
+    /// Exclusive upper bound on schedule times.
+    pub fn schedule_window(&self) -> u32 {
+        self.window
+    }
+
+    /// ASAP level of a node (cached at construction): no schedule can
+    /// execute a node earlier than its data depth, so placement candidates
+    /// start here regardless of which neighbours are currently placed.
+    pub fn asap_level(&self, node: NodeId) -> u32 {
+        self.asap[node.index()]
+    }
+
+    /// Current placement of a node, if any.
+    pub fn placement(&self, node: NodeId) -> Option<Placement> {
+        self.placements[node.index()]
+    }
+
+    /// Current route of an edge, if routed.
+    pub fn route(&self, edge: EdgeId) -> Option<&[RouteStep]> {
+        self.routes[edge.index()].as_deref()
+    }
+
+    /// Whether the FU of `pe` is free at `time` (modulo II).
+    pub fn fu_free(&self, pe: PeId, time: u32) -> bool {
+        self.cells[self.mrrg.fu_index_at(pe, time)] == Cell::Free
+    }
+
+    /// Places `node` on `pe` at absolute `time`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node is already placed, the time is outside the
+    /// schedule window, the PE cannot execute the operation, or the FU slot
+    /// is occupied. No partial state is left on failure.
+    pub fn place(&mut self, node: NodeId, pe: PeId, time: u32) -> Result<(), MapperError> {
+        if self.placements[node.index()].is_some() {
+            return Err(MapperError::AlreadyPlaced(node));
+        }
+        if time >= self.window {
+            return Err(MapperError::TimeOutOfWindow {
+                time,
+                window: self.window,
+            });
+        }
+        if !self.mrrg.placeable(pe, self.dfg.node(node).op) {
+            return Err(MapperError::Unsupported { node, pe });
+        }
+        let idx = self.mrrg.fu_index_at(pe, time);
+        if self.cells[idx] != Cell::Free {
+            return Err(MapperError::SlotOccupied { node, pe, time });
+        }
+        self.cells[idx] = Cell::Op(node);
+        self.placements[node.index()] = Some(Placement { pe, time });
+        Ok(())
+    }
+
+    /// Removes a node's placement and rips up every route incident to it.
+    /// A no-op if the node is not placed.
+    pub fn unplace(&mut self, node: NodeId) {
+        let Some(p) = self.placements[node.index()].take() else {
+            return;
+        };
+        let incident: Vec<EdgeId> = self
+            .dfg
+            .in_edges(node)
+            .iter()
+            .chain(self.dfg.out_edges(node))
+            .copied()
+            .collect();
+        for e in incident {
+            self.unroute_edge(e);
+        }
+        let idx = self.mrrg.fu_index_at(p.pe, p.time);
+        debug_assert_eq!(self.cells[idx], Cell::Op(node));
+        self.cells[idx] = Cell::Free;
+    }
+
+    /// Effective consumer time of an edge: the consumer's schedule time
+    /// plus `distance * II` for recurrence edges (the value crosses
+    /// `distance` iterations).
+    pub fn effective_dst_time(&self, edge: EdgeId) -> Option<u32> {
+        let e = self.dfg.edge(edge);
+        let dst = self.placements[e.dst.index()]?;
+        Some(dst.time + e.kind.distance() * self.ii())
+    }
+
+    /// Routes an edge between its placed endpoints with a minimum-cost
+    /// conflict-free path (Dijkstra over the time-expanded MRRG). Returns
+    /// the number of *newly occupied* resource cells.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an endpoint is unplaced, the edge is already routed,
+    /// timing is non-causal, or no path exists.
+    pub fn route_edge(&mut self, edge: EdgeId) -> Result<usize, MapperError> {
+        if self.routes[edge.index()].is_some() {
+            return Err(MapperError::AlreadyRouted(edge));
+        }
+        let e = self.dfg.edge(edge);
+        let src = self.placements[e.src.index()].ok_or(MapperError::NotPlaced(e.src))?;
+        let _dst = self.placements[e.dst.index()].ok_or(MapperError::NotPlaced(e.dst))?;
+        let dst_time = self
+            .effective_dst_time(edge)
+            .expect("dst placement checked above");
+        let dst_pe = self.placements[e.dst.index()].expect("checked").pe;
+        if dst_time <= src.time {
+            return Err(MapperError::BadTiming {
+                edge,
+                src_time: src.time,
+                dst_time,
+            });
+        }
+        let steps = router::find_route(
+            &self.mrrg,
+            e.src,
+            src.pe,
+            src.time,
+            dst_pe,
+            dst_time,
+            |resource, time| self.step_cost(resource, time, e.src),
+        )
+        .ok_or(MapperError::NoRoute(edge))?;
+        // Commit: the router guarantees per-cell consistency, but a path
+        // may wrap onto itself modulo II; verify before mutating.
+        let mut seen = std::collections::HashMap::new();
+        for s in &steps {
+            let idx = self.mrrg.index_at(s.resource, s.time);
+            if let Some(prev) = seen.insert(idx, s.time) {
+                if prev != s.time {
+                    return Err(MapperError::NoRoute(edge));
+                }
+            }
+        }
+        let mut new_cells = 0;
+        for s in &steps {
+            let idx = self.mrrg.index_at(s.resource, s.time);
+            match &mut self.cells[idx] {
+                c @ Cell::Free => {
+                    *c = Cell::Route {
+                        value: e.src,
+                        time: s.time,
+                        refs: 1,
+                    };
+                    new_cells += 1;
+                }
+                Cell::Route { value, time, refs } => {
+                    debug_assert!(*value == e.src && *time == s.time);
+                    *refs += 1;
+                }
+                Cell::Op(_) => unreachable!("router never proposes occupied op cells"),
+            }
+        }
+        self.routes[edge.index()] = Some(steps);
+        Ok(new_cells)
+    }
+
+    /// Routing cost of placing a step for `value` on `(resource, time)`:
+    /// `Some(1)` for a free cell, `Some(0)` when the cell already carries
+    /// the same value at the same absolute time (fanout reuse), `None`
+    /// otherwise.
+    fn step_cost(&self, resource: Resource, time: u32, value: NodeId) -> Option<u32> {
+        match self.cells[self.mrrg.index_at(resource, time)] {
+            Cell::Free => Some(1),
+            Cell::Op(_) => None,
+            Cell::Route { value: v, time: t, .. } => (v == value && t == time).then_some(0),
+        }
+    }
+
+    /// Releases an edge's route. A no-op if the edge is unrouted.
+    pub fn unroute_edge(&mut self, edge: EdgeId) {
+        let Some(steps) = self.routes[edge.index()].take() else {
+            return;
+        };
+        for s in steps {
+            let idx = self.mrrg.index_at(s.resource, s.time);
+            match &mut self.cells[idx] {
+                Cell::Route { refs, .. } => {
+                    *refs -= 1;
+                    if *refs == 0 {
+                        self.cells[idx] = Cell::Free;
+                    }
+                }
+                other => unreachable!("route step cell in state {other:?}"),
+            }
+        }
+    }
+
+    /// Nodes without a placement.
+    pub fn unplaced_nodes(&self) -> Vec<NodeId> {
+        self.dfg
+            .node_ids()
+            .filter(|n| self.placements[n.index()].is_none())
+            .collect()
+    }
+
+    /// Edges without a route.
+    pub fn unrouted_edges(&self) -> Vec<EdgeId> {
+        self.dfg
+            .edge_ids()
+            .filter(|e| self.routes[e.index()].is_none())
+            .collect()
+    }
+
+    /// Whether every node is placed and every edge routed.
+    pub fn is_complete(&self) -> bool {
+        self.placements.iter().all(Option::is_some) && self.routes.iter().all(Option::is_some)
+    }
+
+    /// Total resource cells occupied by routing — the paper's "routing
+    /// cost" used to rank label candidates (§V-B).
+    pub fn routing_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, Cell::Route { .. }))
+            .count()
+    }
+
+    /// Activity counters for the power model (Fig. 10). Route cells are
+    /// classified by scanning routes (each unique cell counted once, so
+    /// fanout sharing is not double-billed).
+    pub fn activity(&self) -> Activity {
+        let mut a = Activity::default();
+        a.compute_slots = self
+            .cells
+            .iter()
+            .filter(|c| matches!(c, Cell::Op(_)))
+            .count();
+        let mut seen = std::collections::HashSet::new();
+        for route in self.routes.iter().flatten() {
+            for s in route {
+                let idx = self.mrrg.index_at(s.resource, s.time);
+                if seen.insert(idx) {
+                    match s.resource {
+                        Resource::Fu(_) => a.route_slots += 1,
+                        Resource::Reg(_, _) => a.reg_slots += 1,
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    /// The latest schedule time in use (placements only), or 0 if empty.
+    pub fn makespan(&self) -> u32 {
+        self.placements
+            .iter()
+            .flatten()
+            .map(|p| p.time)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Re-checks every mapping invariant from scratch. Intended for tests
+    /// and debug assertions; mappers maintain these incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify(&self) -> Result<(), String> {
+        // Placement capability + uniqueness.
+        let mut fu_owner = std::collections::HashMap::new();
+        for n in self.dfg.node_ids() {
+            let Some(p) = self.placements[n.index()] else {
+                continue;
+            };
+            if !self.mrrg.placeable(p.pe, self.dfg.node(n).op) {
+                return Err(format!("node {} placed on unsupported {}", n.index(), p.pe));
+            }
+            if p.time >= self.window {
+                return Err(format!("node {} outside window", n.index()));
+            }
+            let slot = self.mrrg.slot(p.time);
+            if let Some(prev) = fu_owner.insert((p.pe, slot), n) {
+                return Err(format!(
+                    "FU conflict on {} slot {}: nodes {} and {}",
+                    p.pe,
+                    slot,
+                    prev.index(),
+                    n.index()
+                ));
+            }
+        }
+        // Route structure.
+        for eid in self.dfg.edge_ids() {
+            let Some(steps) = &self.routes[eid.index()] else {
+                continue;
+            };
+            let e = self.dfg.edge(eid);
+            let src = self.placements[e.src.index()]
+                .ok_or_else(|| format!("edge {} routed with unplaced src", eid.index()))?;
+            let dst = self.placements[e.dst.index()]
+                .ok_or_else(|| format!("edge {} routed with unplaced dst", eid.index()))?;
+            let dst_time = dst.time + e.kind.distance() * self.ii();
+            if dst_time <= src.time {
+                return Err(format!("edge {} non-causal", eid.index()));
+            }
+            let hops = dst_time - src.time;
+            if steps.len() as u32 != hops - 1 {
+                return Err(format!(
+                    "edge {} has {} steps, expected {}",
+                    eid.index(),
+                    steps.len(),
+                    hops - 1
+                ));
+            }
+            // Adjacency chain: producer FU -> steps -> consumer FU.
+            let mut prev = Resource::Fu(src.pe);
+            let mut t = src.time;
+            for s in steps {
+                t += 1;
+                if s.time != t {
+                    return Err(format!("edge {} step at time {} != {t}", eid.index(), s.time));
+                }
+                if !self.mrrg.moves_from(prev).contains(&s.resource) {
+                    return Err(format!("edge {} illegal move", eid.index()));
+                }
+                prev = s.resource;
+            }
+            if !self.mrrg.can_consume(prev, dst.pe) {
+                return Err(format!("edge {} cannot reach consumer", eid.index()));
+            }
+            // Route cells occupied correctly & FU steps not op-occupied.
+            for s in steps {
+                match self.cells[self.mrrg.index_at(s.resource, s.time)] {
+                    Cell::Route { value, time, .. } if value == e.src && time == s.time => {}
+                    other => {
+                        return Err(format!(
+                            "edge {} step cell in bad state {other:?}",
+                            eid.index()
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_dfg::OpKind;
+
+    fn chain3() -> Dfg {
+        let mut g = Dfg::new("chain");
+        let a = g.add_node(OpKind::Load, "a");
+        let b = g.add_node(OpKind::Add, "b");
+        let c = g.add_node(OpKind::Store, "c");
+        g.add_data_edge(a, b).unwrap();
+        g.add_data_edge(b, c).unwrap();
+        g
+    }
+
+    #[test]
+    fn place_route_complete() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&dfg, &acc, 3).unwrap();
+        m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
+        m.place(NodeId::new(1), PeId::new(1), 1).unwrap();
+        m.place(NodeId::new(2), PeId::new(3), 2).unwrap();
+        assert_eq!(m.route_edge(EdgeId::new(0)).unwrap(), 0); // adjacent, direct
+        assert_eq!(m.route_edge(EdgeId::new(1)).unwrap(), 0);
+        assert!(m.is_complete());
+        m.verify().unwrap();
+        assert_eq!(m.routing_cells(), 0);
+    }
+
+    #[test]
+    fn distant_route_uses_cells() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let mut m = Mapping::new(&dfg, &acc, 4).unwrap();
+        // a at (0,0) t0, b at (2,2) t4: Manhattan distance 4, so 3
+        // intermediate hops.
+        m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
+        m.place(NodeId::new(1), PeId::new(8), 4).unwrap();
+        m.place(NodeId::new(2), PeId::new(8 - 1), 5).unwrap();
+        let new_cells = m.route_edge(EdgeId::new(0)).unwrap();
+        assert_eq!(new_cells, 3);
+        m.route_edge(EdgeId::new(1)).unwrap();
+        m.verify().unwrap();
+        assert_eq!(m.routing_cells(), 3);
+    }
+
+    #[test]
+    fn slot_conflict_rejected() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&dfg, &acc, 2).unwrap();
+        m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
+        // Same PE, time 2 ≡ 0 (mod 2): conflict.
+        let err = m.place(NodeId::new(1), PeId::new(0), 2).unwrap_err();
+        assert!(matches!(err, MapperError::SlotOccupied { .. }));
+        // Different slot is fine.
+        m.place(NodeId::new(1), PeId::new(0), 1).unwrap();
+    }
+
+    #[test]
+    fn non_causal_route_rejected() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&dfg, &acc, 2).unwrap();
+        m.place(NodeId::new(0), PeId::new(0), 1).unwrap();
+        m.place(NodeId::new(1), PeId::new(1), 1).unwrap();
+        let err = m.route_edge(EdgeId::new(0)).unwrap_err();
+        assert!(matches!(err, MapperError::BadTiming { .. }));
+    }
+
+    #[test]
+    fn unplace_rips_routes() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let mut m = Mapping::new(&dfg, &acc, 4).unwrap();
+        m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
+        m.place(NodeId::new(1), PeId::new(8), 4).unwrap();
+        m.place(NodeId::new(2), PeId::new(7), 5).unwrap();
+        m.route_edge(EdgeId::new(0)).unwrap();
+        m.route_edge(EdgeId::new(1)).unwrap();
+        m.unplace(NodeId::new(1));
+        assert!(m.route(EdgeId::new(0)).is_none());
+        assert!(m.route(EdgeId::new(1)).is_none());
+        assert_eq!(m.routing_cells(), 0);
+        assert_eq!(m.unplaced_nodes(), vec![NodeId::new(1)]);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn fanout_shares_cells() {
+        // a feeds b and c, both two hops away along a shared prefix.
+        let mut g = Dfg::new("fan");
+        let a = g.add_node(OpKind::Load, "a");
+        let b = g.add_node(OpKind::Add, "b");
+        let c = g.add_node(OpKind::Mul, "c");
+        let e1 = g.add_data_edge(a, b).unwrap();
+        let e2 = g.add_data_edge(a, c).unwrap();
+        let acc = Accelerator::cgra("1x4", 1, 4);
+        let mut m = Mapping::new(&g, &acc, 4).unwrap();
+        m.place(a, PeId::new(0), 0).unwrap();
+        m.place(b, PeId::new(2), 2).unwrap();
+        m.place(c, PeId::new(3), 4).unwrap();
+        let n1 = m.route_edge(e1).unwrap();
+        assert_eq!(n1, 1); // through FU(1) at t1
+        // Second consumer is further out; b occupies FU(2)@2, so the route
+        // detours (e.g. hold in a register) and shares the FU(1)@1 prefix.
+        let n2 = m.route_edge(e2).unwrap();
+        assert!(n2 >= 1);
+        m.verify().unwrap();
+        // Unrouting e1 must keep e2's shared cells alive.
+        m.unroute_edge(e1);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn recurrence_self_loop_routes_through_registers() {
+        let mut g = Dfg::new("acc");
+        let x = g.add_node(OpKind::Add, "x");
+        let e = g.add_recurrence_edge(x, x, 1).unwrap();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&g, &acc, 2).unwrap();
+        m.place(x, PeId::new(0), 0).unwrap();
+        // Effective dst time = 0 + 1*2 = 2: one intermediate step at t=1.
+        let cells = m.route_edge(e).unwrap();
+        assert_eq!(cells, 1);
+        m.verify().unwrap();
+        let route = m.route(e).unwrap();
+        assert_eq!(route.len(), 1);
+    }
+
+    #[test]
+    fn self_loop_at_ii1_cannot_route_without_slack() {
+        // II = 1: value must return to the same FU after 1 cycle; the
+        // single register hold path is Fu -> consume next cycle: distance
+        // 1*1 = 1 means zero intermediate steps and self-consumption is
+        // allowed (p == dest). So this *routes*.
+        let mut g = Dfg::new("acc");
+        let x = g.add_node(OpKind::Add, "x");
+        let e = g.add_recurrence_edge(x, x, 1).unwrap();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&g, &acc, 1).unwrap();
+        m.place(x, PeId::new(0), 0).unwrap();
+        assert_eq!(m.route_edge(e).unwrap(), 0);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn memory_constraint_enforced() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("2x2", 2, 2)
+            .with_memory(lisa_arch::MemoryConnectivity::LeftColumn);
+        let mut m = Mapping::new(&dfg, &acc, 2).unwrap();
+        // Node 0 is a load; PE 1 is column 1.
+        let err = m.place(NodeId::new(0), PeId::new(1), 0).unwrap_err();
+        assert!(matches!(err, MapperError::Unsupported { .. }));
+        m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
+    }
+
+    #[test]
+    fn activity_counts() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let mut m = Mapping::new(&dfg, &acc, 4).unwrap();
+        m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
+        m.place(NodeId::new(1), PeId::new(8), 4).unwrap();
+        m.place(NodeId::new(2), PeId::new(7), 5).unwrap();
+        m.route_edge(EdgeId::new(0)).unwrap();
+        m.route_edge(EdgeId::new(1)).unwrap();
+        let a = m.activity();
+        assert_eq!(a.compute_slots, 3);
+        assert_eq!(a.route_slots + a.reg_slots, m.routing_cells());
+    }
+
+    #[test]
+    fn window_bound_enforced() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&dfg, &acc, 2).unwrap();
+        let w = m.schedule_window();
+        let err = m.place(NodeId::new(0), PeId::new(0), w).unwrap_err();
+        assert!(matches!(err, MapperError::TimeOutOfWindow { .. }));
+    }
+}
+
+impl Mapping<'_> {
+    /// Route latency of an edge in cycles (`dst_eff_time - src_time`), or
+    /// `None` if the edge is unrouted.
+    pub fn route_latency(&self, edge: EdgeId) -> Option<u32> {
+        self.routes[edge.index()].as_ref()?;
+        let e = self.dfg.edge(edge);
+        let src = self.placements[e.src.index()]?;
+        let dst_eff = self.effective_dst_time(edge)?;
+        Some(dst_eff - src.time)
+    }
+
+    /// Sum of route latencies over all routed edges — a communication-cost
+    /// metric complementary to [`Self::routing_cells`].
+    pub fn total_route_latency(&self) -> u32 {
+        self.dfg
+            .edge_ids()
+            .filter_map(|e| self.route_latency(e))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+    use lisa_dfg::OpKind;
+
+    #[test]
+    fn route_latency_matches_schedule_gap() {
+        let mut g = Dfg::new("t");
+        let a = g.add_node(OpKind::Load, "a");
+        let b = g.add_node(OpKind::Store, "b");
+        let e = g.add_data_edge(a, b).unwrap();
+        let acc = lisa_arch::Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&g, &acc, 4).unwrap();
+        assert_eq!(m.route_latency(e), None);
+        m.place(a, lisa_arch::PeId::new(0), 0).unwrap();
+        m.place(b, lisa_arch::PeId::new(1), 3).unwrap();
+        m.route_edge(e).unwrap();
+        assert_eq!(m.route_latency(e), Some(3));
+        assert_eq!(m.total_route_latency(), 3);
+    }
+}
+
+/// Per-PE utilisation of a mapping: how many modulo slots of each PE are
+/// busy with computation or routing. High variance indicates hot spots —
+/// the congestion signature constrained architectures exhibit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Utilization {
+    /// Busy FU slots per PE (compute + route-through), indexed by PE.
+    pub busy_fu_slots: Vec<usize>,
+    /// Busy register slots per PE.
+    pub busy_reg_slots: Vec<usize>,
+    /// The initiation interval (slots per FU).
+    pub ii: u32,
+}
+
+impl Utilization {
+    /// Mean FU occupancy over all PEs, in [0, 1].
+    pub fn mean_fu_occupancy(&self) -> f64 {
+        if self.busy_fu_slots.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.busy_fu_slots.iter().sum();
+        total as f64 / (self.busy_fu_slots.len() as f64 * f64::from(self.ii))
+    }
+
+    /// The busiest PE's FU occupancy, in [0, 1].
+    pub fn peak_fu_occupancy(&self) -> f64 {
+        self.busy_fu_slots
+            .iter()
+            .copied()
+            .max()
+            .map_or(0.0, |m| m as f64 / f64::from(self.ii))
+    }
+}
+
+impl Mapping<'_> {
+    /// Computes per-PE utilisation (see [`Utilization`]).
+    pub fn utilization(&self) -> Utilization {
+        let acc = self.accelerator();
+        let mut busy_fu = vec![0usize; acc.pe_count()];
+        let mut busy_reg = vec![0usize; acc.pe_count()];
+        for v in self.dfg.node_ids() {
+            if let Some(p) = self.placement(v) {
+                busy_fu[p.pe.index()] += 1;
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for route in self.dfg.edge_ids() {
+            let Some(steps) = self.route(route) else {
+                continue;
+            };
+            for s in steps {
+                let idx = self.mrrg.index_at(s.resource, s.time);
+                if !seen.insert(idx) {
+                    continue;
+                }
+                match s.resource {
+                    Resource::Fu(pe) => busy_fu[pe.index()] += 1,
+                    Resource::Reg(pe, _) => busy_reg[pe.index()] += 1,
+                }
+            }
+        }
+        Utilization {
+            busy_fu_slots: busy_fu,
+            busy_reg_slots: busy_reg,
+            ii: self.ii(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::*;
+    use lisa_dfg::OpKind;
+
+    #[test]
+    fn utilization_counts_ops_and_routes() {
+        let mut g = Dfg::new("t");
+        let a = g.add_node(OpKind::Load, "a");
+        let b = g.add_node(OpKind::Store, "b");
+        let e = g.add_data_edge(a, b).unwrap();
+        let acc = lisa_arch::Accelerator::cgra("1x3", 1, 3);
+        let mut m = Mapping::new(&g, &acc, 2).unwrap();
+        m.place(a, lisa_arch::PeId::new(0), 0).unwrap();
+        m.place(b, lisa_arch::PeId::new(2), 2).unwrap();
+        m.route_edge(e).unwrap();
+        let u = m.utilization();
+        assert_eq!(u.busy_fu_slots[0], 1); // the load
+        assert_eq!(u.busy_fu_slots[2], 1); // the store
+        // The route passes PE1 (FU) or uses a register; either way some
+        // middle resource is busy.
+        assert!(u.busy_fu_slots[1] + u.busy_reg_slots.iter().sum::<usize>() >= 1);
+        assert!(u.mean_fu_occupancy() > 0.0);
+        assert!(u.peak_fu_occupancy() <= 1.0);
+    }
+
+    #[test]
+    fn empty_mapping_has_zero_utilization() {
+        let mut g = Dfg::new("t");
+        g.add_node(OpKind::Add, "x");
+        let acc = lisa_arch::Accelerator::cgra("2x2", 2, 2);
+        let m = Mapping::new(&g, &acc, 3).unwrap();
+        let u = m.utilization();
+        assert_eq!(u.mean_fu_occupancy(), 0.0);
+        assert_eq!(u.peak_fu_occupancy(), 0.0);
+    }
+}

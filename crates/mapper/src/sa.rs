@@ -1,0 +1,552 @@
+//! Simulated-annealing mapping: the vanilla SA baseline and the shared
+//! annealing core that the label-aware variant (Algorithm 1) plugs into.
+//!
+//! The skeleton follows the paper's description of SA-based approaches
+//! (§III-B): create an initial mapping, then repeatedly *unmap* a few nodes
+//! and remap them (a *movement*), accepting worse mappings with a
+//! temperature-controlled probability to escape local minima. The paper's
+//! SA baseline and LISA differ **only** in three policy points — placement
+//! order, PE-candidate choice, and routing order — so those are factored
+//! into the [`SaPolicy`] trait and everything else is shared.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lisa_arch::{Accelerator, PeId};
+use lisa_dfg::{Dfg, EdgeId, NodeId};
+
+use crate::schedule::IiMapper;
+use crate::Mapping;
+
+/// Tuning parameters of the annealer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaParams {
+    /// Movements attempted at each temperature (paper §VI-C: 50 for SA and
+    /// LISA; 500 for the SA-M ablation).
+    pub moves_per_temp: u32,
+    /// Starting temperature.
+    pub initial_temp: f64,
+    /// Multiplicative cooling factor per temperature level.
+    pub cooling: f64,
+    /// Annealing stops when the temperature falls below this.
+    pub min_temp: f64,
+    /// Wall-clock budget per target II ("not exceed time limitation",
+    /// Algorithm 1 line 1).
+    pub time_limit: Duration,
+    /// Maximum number of nodes unmapped per movement.
+    pub max_unmap: usize,
+}
+
+impl SaParams {
+    /// Paper-scale parameters: 50 movements per temperature.
+    pub fn paper() -> Self {
+        SaParams {
+            moves_per_temp: 50,
+            initial_temp: 60.0,
+            cooling: 0.95,
+            min_temp: 0.4,
+            time_limit: Duration::from_secs(10),
+            max_unmap: 3,
+        }
+    }
+
+    /// The SA-M ablation of Fig. 13: 10× movements at each temperature.
+    pub fn sa_m() -> Self {
+        SaParams {
+            moves_per_temp: 500,
+            ..SaParams::paper()
+        }
+    }
+
+    /// Reduced budget for unit tests and doctests.
+    pub fn fast() -> Self {
+        SaParams {
+            moves_per_temp: 25,
+            initial_temp: 30.0,
+            cooling: 0.85,
+            min_temp: 1.0,
+            time_limit: Duration::from_secs(2),
+            max_unmap: 3,
+        }
+    }
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        SaParams::paper()
+    }
+}
+
+/// Running movement statistics, exposed to policies for the paper's
+/// deviation schedule σ = max{1, α·T − Acc} (Algorithm 1 line 7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MoveStats {
+    /// Attempted movements so far (the paper's `T`).
+    pub attempted: u32,
+    /// Accepted movements so far (the paper's `Acc`).
+    pub accepted: u32,
+}
+
+/// The three decision points where vanilla SA and label-aware SA differ.
+pub trait SaPolicy {
+    /// Orders unmapped nodes for placement (Algorithm 1 line 3).
+    fn order_nodes(&self, dfg: &Dfg, nodes: &mut [NodeId]);
+
+    /// Picks one of `candidates` (all feasible `(pe, time)` slots) for
+    /// `node` (Algorithm 1 lines 5–8). Returns an index into `candidates`.
+    fn choose_candidate(
+        &self,
+        mapping: &Mapping<'_>,
+        node: NodeId,
+        candidates: &[(PeId, u32)],
+        stats: MoveStats,
+        rng: &mut StdRng,
+    ) -> usize;
+
+    /// Orders unrouted edges for routing (Algorithm 1 line 9).
+    fn order_edges(&self, dfg: &Dfg, edges: &mut [EdgeId]);
+}
+
+/// Vanilla policy: ASAP placement order, uniformly random PE candidate,
+/// edge-id routing order — the paper's SA baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VanillaPolicy;
+
+impl SaPolicy for VanillaPolicy {
+    fn order_nodes(&self, dfg: &Dfg, nodes: &mut [NodeId]) {
+        let asap = lisa_dfg::analysis::asap(dfg);
+        nodes.sort_by_key(|n| (asap[n.index()], n.index()));
+    }
+
+    fn choose_candidate(
+        &self,
+        _mapping: &Mapping<'_>,
+        _node: NodeId,
+        candidates: &[(PeId, u32)],
+        _stats: MoveStats,
+        rng: &mut StdRng,
+    ) -> usize {
+        rng.gen_range(0..candidates.len())
+    }
+
+    fn order_edges(&self, _dfg: &Dfg, edges: &mut [EdgeId]) {
+        edges.sort_by_key(|e| e.index());
+    }
+}
+
+/// Cost of a (possibly partial) mapping: unplaced nodes and unrouted edges
+/// dominate; routing cells break ties so tighter routings win, and a small
+/// makespan term keeps schedules compact (late placements starve their
+/// successors of causal slots).
+pub(crate) fn mapping_cost(m: &Mapping<'_>) -> f64 {
+    let lateness: u32 = m
+        .dfg()
+        .node_ids()
+        .filter_map(|n| m.placement(n))
+        .map(|p| p.time)
+        .sum();
+    1000.0 * m.unplaced_nodes().len() as f64
+        + 100.0 * m.unrouted_edges().len() as f64
+        + m.routing_cells() as f64
+        + 0.01 * f64::from(lateness)
+}
+
+/// All feasible `(pe, time)` slots for `node`, bounded by its placed data
+/// neighbours: after every placed predecessor, before every placed
+/// successor. If the bounds conflict, the lower bound wins and the
+/// offending successor edges simply fail to route (and cost accordingly).
+pub(crate) fn candidate_slots(m: &Mapping<'_>, node: NodeId) -> Vec<(PeId, u32)> {
+    let dfg = m.dfg();
+    let acc = m.accelerator();
+    // A node can never execute before its data depth; this keeps
+    // placements causal even when a policy orders children first.
+    let mut lo = m.asap_level(node);
+    for p in dfg.data_predecessors(node) {
+        if let Some(pp) = m.placement(p) {
+            lo = lo.max(pp.time + 1);
+        }
+    }
+    let mut hi = m.schedule_window() - 1;
+    for s in dfg.data_successors(node) {
+        if let Some(sp) = m.placement(s) {
+            hi = hi.min(sp.time.saturating_sub(1));
+        }
+    }
+    if lo > hi {
+        hi = m.schedule_window() - 1;
+    }
+    let op = dfg.node(node).op;
+    let mut out = Vec::new();
+    for pe in 0..acc.pe_count() {
+        let pe = PeId::new(pe);
+        if !acc.supports(pe, op) {
+            continue;
+        }
+        // Times fold modulo II, so sweeping 2·II consecutive cycles visits
+        // every slot of the PE twice; keep only the earliest two free times
+        // per PE so schedules stay compact (late placements starve their
+        // successors of causal slots and deadlock the annealer).
+        let span_hi = hi.min(lo + m.ii().max(2) * 2);
+        let mut kept = 0;
+        for t in lo..=span_hi {
+            if m.fu_free(pe, t) {
+                out.push((pe, t));
+                kept += 1;
+                if kept == 2 {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The annealing core shared by [`SaMapper`] and
+/// [`crate::LabelSaMapper`].
+pub(crate) fn anneal<'a, P: SaPolicy>(
+    policy: &P,
+    params: &SaParams,
+    dfg: &'a Dfg,
+    acc: &'a Accelerator,
+    ii: u32,
+    rng: &mut StdRng,
+) -> Option<Mapping<'a>> {
+    let start = Instant::now();
+    let mut mapping = Mapping::new(dfg, acc, ii).ok()?;
+    let mut stats = MoveStats::default();
+
+    // Initial mapping: every node is unmapped (Algorithm 1, first
+    // iteration).
+    place_nodes(policy, &mut mapping, dfg.node_ids().collect(), stats, rng);
+    route_all(policy, &mut mapping);
+    let mut cost = mapping_cost(&mapping);
+    if mapping.is_complete() {
+        return Some(mapping);
+    }
+
+    let mut temp = params.initial_temp;
+    while temp > params.min_temp {
+        for _ in 0..params.moves_per_temp {
+            if start.elapsed() > params.time_limit {
+                return None;
+            }
+            stats.attempted += 1;
+            let snapshot = mapping.clone();
+            movement(policy, &mut mapping, params, stats, rng);
+            let new_cost = mapping_cost(&mapping);
+            if mapping.is_complete() {
+                return Some(mapping);
+            }
+            let accept = new_cost <= cost
+                || rng.gen_bool(((cost - new_cost) / temp).exp().clamp(0.0, 1.0));
+            if accept {
+                // The deviation schedule counts only strict improvements:
+                // plateau moves must not mask a stuck search, or sigma
+                // never widens and the label policy repeats itself.
+                if new_cost < cost {
+                    stats.accepted += 1;
+                }
+                cost = new_cost;
+            } else {
+                mapping = snapshot;
+            }
+        }
+        if std::env::var_os("LISA_SA_DEBUG").is_some() {
+            let unrouted = mapping.unrouted_edges();
+            let detail: Vec<String> = unrouted
+                .iter()
+                .map(|&e| {
+                    let edge = dfg.edge(e);
+                    format!(
+                        "{e}:{:?}@{:?}->{:?}@{:?}",
+                        edge.src,
+                        mapping.placement(edge.src),
+                        edge.dst,
+                        mapping.placement(edge.dst)
+                    )
+                })
+                .collect();
+            eprintln!(
+                "temp={temp:.2} cost={cost} unplaced={} unrouted={:?} acc={}/{}",
+                mapping.unplaced_nodes().len(),
+                detail,
+                stats.accepted,
+                stats.attempted
+            );
+        }
+        temp *= params.cooling;
+    }
+    None
+}
+
+/// One SA movement: unmap a few (biased towards problematic) nodes, remap
+/// them in policy order, then retry every unrouted edge in policy order.
+fn movement<P: SaPolicy>(
+    policy: &P,
+    mapping: &mut Mapping<'_>,
+    params: &SaParams,
+    stats: MoveStats,
+    rng: &mut StdRng,
+) {
+    let dfg = mapping.dfg();
+    // Problematic nodes: endpoints of unrouted edges, plus unplaced nodes.
+    let mut problematic: Vec<NodeId> = mapping.unplaced_nodes();
+    for e in mapping.unrouted_edges() {
+        let edge = dfg.edge(e);
+        problematic.push(edge.src);
+        problematic.push(edge.dst);
+    }
+    problematic.sort_by_key(|n| n.index());
+    problematic.dedup();
+
+    let count = rng.gen_range(1..=params.max_unmap);
+    let mut victims = Vec::with_capacity(count);
+    for _ in 0..count {
+        let v = if !problematic.is_empty() && rng.gen_bool(0.7) {
+            problematic[rng.gen_range(0..problematic.len())]
+        } else {
+            NodeId::new(rng.gen_range(0..dfg.node_count()))
+        };
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    for &v in &victims {
+        mapping.unplace(v);
+    }
+    // Remap everything currently unplaced (victims plus earlier failures).
+    let unplaced = mapping.unplaced_nodes();
+    place_nodes(policy, mapping, unplaced, stats, rng);
+    route_all(policy, mapping);
+}
+
+/// Places `nodes` in policy order, consulting the policy for each slot.
+fn place_nodes<P: SaPolicy>(
+    policy: &P,
+    mapping: &mut Mapping<'_>,
+    mut nodes: Vec<NodeId>,
+    stats: MoveStats,
+    rng: &mut StdRng,
+) {
+    policy.order_nodes(mapping.dfg(), &mut nodes);
+    for node in nodes {
+        let candidates = candidate_slots(mapping, node);
+        if candidates.is_empty() {
+            continue;
+        }
+        let idx = policy.choose_candidate(mapping, node, &candidates, stats, rng);
+        let (pe, t) = candidates[idx];
+        mapping
+            .place(node, pe, t)
+            .expect("candidate slots are feasible by construction");
+    }
+}
+
+/// Attempts to route every unrouted edge whose endpoints are placed, in
+/// policy order. Failures are left unrouted for the cost function.
+fn route_all<P: SaPolicy>(policy: &P, mapping: &mut Mapping<'_>) {
+    let mut edges = mapping.unrouted_edges();
+    policy.order_edges(mapping.dfg(), &mut edges);
+    for e in edges {
+        let edge = mapping.dfg().edge(e);
+        if mapping.placement(edge.src).is_none() || mapping.placement(edge.dst).is_none() {
+            continue;
+        }
+        let _ = mapping.route_edge(e);
+    }
+}
+
+/// The vanilla simulated-annealing mapper (the paper's SA baseline).
+///
+/// # Example
+///
+/// ```
+/// use lisa_dfg::{Dfg, OpKind};
+/// use lisa_arch::Accelerator;
+/// use lisa_mapper::{sa::SaMapper, SaParams, schedule::IiMapper};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dfg = Dfg::new("pair");
+/// let a = dfg.add_node(OpKind::Load, "a");
+/// let b = dfg.add_node(OpKind::Store, "b");
+/// dfg.add_data_edge(a, b)?;
+/// let acc = Accelerator::cgra("2x2", 2, 2);
+/// let mut sa = SaMapper::new(SaParams::fast(), 1);
+/// let mapping = sa.map_at_ii(&dfg, &acc, 1).expect("trivially mappable");
+/// assert!(mapping.is_complete());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SaMapper {
+    params: SaParams,
+    seed: u64,
+    name: String,
+}
+
+impl SaMapper {
+    /// Creates a mapper with the given parameters and RNG seed.
+    pub fn new(params: SaParams, seed: u64) -> Self {
+        let name = if params.moves_per_temp >= 10 * SaParams::paper().moves_per_temp {
+            "SA-M".to_string()
+        } else {
+            "SA".to_string()
+        };
+        SaMapper { params, seed, name }
+    }
+
+    /// The annealing parameters.
+    pub fn params(&self) -> &SaParams {
+        &self.params
+    }
+}
+
+impl IiMapper for SaMapper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn map_at_ii<'a>(
+        &mut self,
+        dfg: &'a Dfg,
+        acc: &'a Accelerator,
+        ii: u32,
+    ) -> Option<Mapping<'a>> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (u64::from(ii) << 32));
+        anneal(&VanillaPolicy, &self.params, dfg, acc, ii, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_dfg::{polybench, OpKind};
+
+    fn small_chain() -> Dfg {
+        let mut g = Dfg::new("chain4");
+        let a = g.add_node(OpKind::Load, "a");
+        let b = g.add_node(OpKind::Add, "b");
+        let c = g.add_node(OpKind::Mul, "c");
+        let d = g.add_node(OpKind::Store, "d");
+        g.add_data_edge(a, b).unwrap();
+        g.add_data_edge(b, c).unwrap();
+        g.add_data_edge(c, d).unwrap();
+        g
+    }
+
+    #[test]
+    fn sa_maps_small_chain_at_ii1() {
+        let dfg = small_chain();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut sa = SaMapper::new(SaParams::fast(), 42);
+        let m = sa.map_at_ii(&dfg, &acc, 1).expect("should map");
+        assert!(m.is_complete());
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn sa_maps_fig4_on_3x3() {
+        // 10-node DFG on 9 PEs needs II >= 2.
+        let mut g = Dfg::new("fig4ish");
+        let ids: Vec<NodeId> = (0..10)
+            .map(|i| {
+                g.add_node(
+                    if i < 2 { OpKind::Load } else { OpKind::Add },
+                    format!("n{i}"),
+                )
+            })
+            .collect();
+        for (s, d) in [(0, 2), (1, 3), (1, 4), (1, 5), (2, 6), (3, 6), (3, 7), (4, 7), (1, 8), (4, 8), (6, 9), (7, 9)] {
+            g.add_data_edge(ids[s], ids[d]).unwrap();
+        }
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let mut sa = SaMapper::new(SaParams::paper(), 3);
+        let m = (2..=4)
+            .find_map(|ii| sa.map_at_ii(&g, &acc, ii))
+            .expect("fig4 fits a 3x3 within II 4");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn sa_is_deterministic_per_seed() {
+        let dfg = small_chain();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let m1 = SaMapper::new(SaParams::fast(), 9).map_at_ii(&dfg, &acc, 1);
+        let m2 = SaMapper::new(SaParams::fast(), 9).map_at_ii(&dfg, &acc, 1);
+        match (m1, m2) {
+            (Some(a), Some(b)) => {
+                for n in dfg.node_ids() {
+                    assert_eq!(a.placement(n), b.placement(n));
+                }
+            }
+            (None, None) => {}
+            _ => panic!("nondeterministic outcome"),
+        }
+    }
+
+    #[test]
+    fn sa_fails_when_ii_too_small() {
+        // 5 nodes, 1 PE supports them, II 2 -> at most 2 slots: impossible.
+        let mut g = Dfg::new("big");
+        for i in 0..5 {
+            g.add_node(OpKind::Add, format!("n{i}"));
+        }
+        let acc = Accelerator::cgra("1x1", 1, 1);
+        let mut sa = SaMapper::new(SaParams::fast(), 5);
+        assert!(sa.map_at_ii(&g, &acc, 2).is_none());
+    }
+
+    #[test]
+    fn sa_m_naming() {
+        assert_eq!(SaMapper::new(SaParams::sa_m(), 0).name(), "SA-M");
+        assert_eq!(SaMapper::new(SaParams::paper(), 0).name(), "SA");
+    }
+
+    #[test]
+    fn sa_maps_a_polybench_kernel() {
+        let dfg = polybench::kernel("doitgen").unwrap();
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        let mut sa = SaMapper::new(SaParams::fast(), 11);
+        let mut found = None;
+        for ii in crate::schedule::mii(&dfg, &acc)..=8 {
+            if let Some(m) = sa.map_at_ii(&dfg, &acc, ii) {
+                found = Some((ii, m));
+                break;
+            }
+        }
+        let (_, m) = found.expect("doitgen maps on 4x4 within II 8");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn candidate_slots_respect_neighbour_times() {
+        let dfg = small_chain();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&dfg, &acc, 4).unwrap();
+        m.place(NodeId::new(0), PeId::new(0), 2).unwrap();
+        // Candidates for node 1 must start at time 3.
+        let cands = candidate_slots(&m, NodeId::new(1));
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|&(_, t)| t >= 3));
+    }
+
+    #[test]
+    fn cost_decreases_to_zero_on_complete() {
+        let dfg = small_chain();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&dfg, &acc, 2).unwrap();
+        assert!(mapping_cost(&m) >= 4000.0);
+        m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
+        m.place(NodeId::new(1), PeId::new(1), 1).unwrap();
+        m.place(NodeId::new(2), PeId::new(3), 2).unwrap();
+        m.place(NodeId::new(3), PeId::new(2), 3).unwrap();
+        for e in dfg.edge_ids() {
+            m.route_edge(e).unwrap();
+        }
+        // Complete mapping: only routing-cells and makespan terms remain.
+        let lateness = 0.01 * f64::from(0 + 1 + 2 + 3u32);
+        assert!((mapping_cost(&m) - (m.routing_cells() as f64 + lateness)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,241 @@
+//! Minimum-II computation and the II search driver.
+//!
+//! Per the paper (§VI): "The compiler starts with target II equal to MII
+//! and increments by one if it cannot map, until the target II exceeds the
+//! maximum II." All three mappers (SA, LISA, exact) plug into the same
+//! [`IiSearch`] driver through the [`IiMapper`] trait, so compilation-time
+//! comparisons (Fig. 11) measure identical machinery around the algorithm
+//! under test.
+
+use std::time::{Duration, Instant};
+
+use lisa_arch::power::{Activity, PowerModel};
+use lisa_arch::Accelerator;
+use lisa_dfg::{analysis, Dfg};
+
+use crate::Mapping;
+
+/// Resource-constrained minimum II: every DFG node needs one FU slot, so
+/// `ceil(nodes / PEs)` (the paper's "theoretical lowest execution time",
+/// §V-C).
+pub fn res_mii(dfg: &Dfg, acc: &Accelerator) -> u32 {
+    (dfg.node_count() as u32).div_ceil(acc.pe_count() as u32).max(1)
+}
+
+/// Minimum II: the larger of the resource and recurrence bounds.
+pub fn mii(dfg: &Dfg, acc: &Accelerator) -> u32 {
+    res_mii(dfg, acc).max(analysis::rec_mii(dfg))
+}
+
+/// A mapping algorithm that attempts one fixed II at a time.
+pub trait IiMapper {
+    /// Short display name ("SA", "LISA", "ILP"), used by the experiment
+    /// harness.
+    fn name(&self) -> &str;
+
+    /// Attempts to produce a complete mapping at exactly `ii`. Returns
+    /// `None` on failure (resources exhausted, time budget hit, ...).
+    fn map_at_ii<'a>(
+        &mut self,
+        dfg: &'a Dfg,
+        acc: &'a Accelerator,
+        ii: u32,
+    ) -> Option<Mapping<'a>>;
+}
+
+/// Result of an II search: the metrics every figure of §VI consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingOutcome {
+    /// Mapper name.
+    pub mapper: String,
+    /// DFG name.
+    pub dfg: String,
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Achieved II, or `None` if no II up to the maximum mapped.
+    pub ii: Option<u32>,
+    /// Wall-clock compilation time across all attempted IIs (Fig. 11; for
+    /// failures this is the full termination time, as in the paper).
+    pub compile_time: Duration,
+    /// Routing cells used by the successful mapping (label quality metric).
+    pub routing_cells: usize,
+    /// Resource activity of the successful mapping (Fig. 10 power input).
+    pub activity: Activity,
+    /// Executed operations per iteration (for MOPS).
+    pub ops: usize,
+    /// Number of II values attempted.
+    pub attempts: u32,
+}
+
+impl MappingOutcome {
+    /// Whether the search found a mapping.
+    pub fn mapped(&self) -> bool {
+        self.ii.is_some()
+    }
+
+    /// Power efficiency in MOPS/W for the Fig. 10 comparison, or `None`
+    /// if the benchmark did not map.
+    pub fn mops_per_watt(&self, acc: &Accelerator, pm: &PowerModel) -> Option<f64> {
+        let ii = self.ii?;
+        Some(pm.mops_per_watt(acc, self.ops, self.activity, ii))
+    }
+}
+
+/// II search driver: tries MII, MII+1, ... up to the configuration depth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IiSearch {
+    /// Optional cap below the accelerator's maximum II (used by tests to
+    /// bound runtimes).
+    pub max_ii: Option<u32>,
+}
+
+impl IiSearch {
+    /// Runs the search and returns the outcome, discarding the mapping.
+    pub fn run(&self, mapper: &mut dyn IiMapper, dfg: &Dfg, acc: &Accelerator) -> MappingOutcome {
+        self.run_with_mapping(mapper, dfg, acc).0
+    }
+
+    /// Runs the search and also returns the successful mapping (used by
+    /// the label extractor).
+    pub fn run_with_mapping<'a>(
+        &self,
+        mapper: &mut dyn IiMapper,
+        dfg: &'a Dfg,
+        acc: &'a Accelerator,
+    ) -> (MappingOutcome, Option<Mapping<'a>>) {
+        let start = Instant::now();
+        let lo = mii(dfg, acc);
+        let hi = self.max_ii.unwrap_or(acc.max_ii()).min(acc.max_ii());
+        let mut attempts = 0;
+        for ii in lo..=hi.max(lo) {
+            if ii > hi {
+                break;
+            }
+            attempts += 1;
+            if let Some(m) = mapper.map_at_ii(dfg, acc, ii) {
+                debug_assert!(m.is_complete());
+                debug_assert_eq!(m.verify(), Ok(()));
+                let outcome = MappingOutcome {
+                    mapper: mapper.name().to_string(),
+                    dfg: dfg.name().to_string(),
+                    accelerator: acc.name().to_string(),
+                    ii: Some(ii),
+                    compile_time: start.elapsed(),
+                    routing_cells: m.routing_cells(),
+                    activity: m.activity(),
+                    ops: dfg.op_count(),
+                    attempts,
+                };
+                return (outcome, Some(m));
+            }
+        }
+        (
+            MappingOutcome {
+                mapper: mapper.name().to_string(),
+                dfg: dfg.name().to_string(),
+                accelerator: acc.name().to_string(),
+                ii: None,
+                compile_time: start.elapsed(),
+                routing_cells: 0,
+                activity: Activity::default(),
+                ops: dfg.op_count(),
+                attempts,
+            },
+            None,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_dfg::OpKind;
+
+    #[test]
+    fn res_mii_rounds_up() {
+        let mut g = Dfg::new("g");
+        for i in 0..17 {
+            g.add_node(OpKind::Add, format!("n{i}"));
+        }
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        assert_eq!(res_mii(&g, &acc), 2);
+        let acc9 = Accelerator::cgra("3x3", 3, 3);
+        assert_eq!(res_mii(&g, &acc9), 2);
+        let acc64 = Accelerator::cgra("8x8", 8, 8);
+        assert_eq!(res_mii(&g, &acc64), 1);
+    }
+
+    #[test]
+    fn mii_takes_recurrence_into_account() {
+        let mut g = Dfg::new("g");
+        let a = g.add_node(OpKind::Add, "a");
+        let b = g.add_node(OpKind::Mul, "b");
+        let c = g.add_node(OpKind::Add, "c");
+        g.add_data_edge(a, b).unwrap();
+        g.add_data_edge(b, c).unwrap();
+        g.add_recurrence_edge(c, a, 1).unwrap();
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        // 3-op cycle at distance 1: RecMII 3 > ResMII 1.
+        assert_eq!(mii(&g, &acc), 3);
+    }
+
+    struct FailThenSucceed {
+        succeed_at: u32,
+    }
+
+    impl IiMapper for FailThenSucceed {
+        fn name(&self) -> &str {
+            "stub"
+        }
+
+        fn map_at_ii<'a>(
+            &mut self,
+            dfg: &'a Dfg,
+            acc: &'a Accelerator,
+            ii: u32,
+        ) -> Option<Mapping<'a>> {
+            if ii < self.succeed_at {
+                return None;
+            }
+            // One-node DFG maps trivially.
+            let mut m = Mapping::new(dfg, acc, ii).ok()?;
+            m.place(lisa_dfg::NodeId::new(0), lisa_arch::PeId::new(0), 0)
+                .ok()?;
+            Some(m)
+        }
+    }
+
+    #[test]
+    fn search_increments_ii_until_success() {
+        let mut g = Dfg::new("one");
+        g.add_node(OpKind::Add, "a");
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut mapper = FailThenSucceed { succeed_at: 3 };
+        let outcome = IiSearch::default().run(&mut mapper, &g, &acc);
+        assert_eq!(outcome.ii, Some(3));
+        assert_eq!(outcome.attempts, 3);
+        assert!(outcome.mapped());
+    }
+
+    #[test]
+    fn search_reports_failure_after_max_ii() {
+        let mut g = Dfg::new("one");
+        g.add_node(OpKind::Add, "a");
+        let acc = Accelerator::cgra("2x2", 2, 2).with_max_ii(4);
+        let mut mapper = FailThenSucceed { succeed_at: 99 };
+        let outcome = IiSearch::default().run(&mut mapper, &g, &acc);
+        assert_eq!(outcome.ii, None);
+        assert_eq!(outcome.attempts, 4);
+        assert!(!outcome.mapped());
+    }
+
+    #[test]
+    fn search_cap_respected() {
+        let mut g = Dfg::new("one");
+        g.add_node(OpKind::Add, "a");
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut mapper = FailThenSucceed { succeed_at: 99 };
+        let outcome = IiSearch { max_ii: Some(2) }.run(&mut mapper, &g, &acc);
+        assert_eq!(outcome.attempts, 2);
+    }
+}

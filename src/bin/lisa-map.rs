@@ -1,0 +1,199 @@
+//! `lisa-map` — command-line mapper: place and route a kernel on a
+//! modelled spatial accelerator.
+//!
+//! ```text
+//! lisa-map <kernel> [--arch <key>] [--mapper lisa|sa|greedy|ilp]
+//!          [--unroll <k>] [--max-ii <n>] [--seed <n>] [--show]
+//!
+//! kernel:  one of the 12 PolyBench kernels (gemm, atax, ...),
+//!          `core:<kernel>` for the systolic compute core, or
+//!          `rand:<seed>` for a synthetic DFG
+//! --arch:  3x3 | 4x4 | 4x4-lr | 4x4-lm | 8x8 | systolic   (default 4x4)
+//! --show:  print the time-extended mapping grid (Fig. 5 style)
+//! ```
+//!
+//! The `lisa` mapper trains the GNN label models for the chosen
+//! accelerator on the fly (quick scale); use `--mapper sa` for an
+//! untrained baseline run.
+
+use lisa::arch::Accelerator;
+use lisa::core::{Lisa, LisaConfig};
+use lisa::dfg::{generate_random_dfg, polybench, unroll::unroll, Dfg, RandomDfgConfig};
+use lisa::mapper::display::render;
+use lisa::mapper::exact::{ExactMapper, ExactParams};
+use lisa::mapper::greedy::GreedyMapper;
+use lisa::mapper::schedule::IiSearch;
+use lisa::mapper::{SaMapper, SaParams};
+
+struct Options {
+    kernel: String,
+    arch: String,
+    mapper: String,
+    unroll: u32,
+    max_ii: u32,
+    seed: u64,
+    show: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let kernel = args.next().ok_or_else(usage)?;
+    if kernel == "--help" || kernel == "-h" {
+        return Err(usage());
+    }
+    let mut opts = Options {
+        kernel,
+        arch: "4x4".to_string(),
+        mapper: "lisa".to_string(),
+        unroll: 1,
+        max_ii: 16,
+        seed: 2022,
+        show: false,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--arch" => opts.arch = value("--arch")?,
+            "--mapper" => opts.mapper = value("--mapper")?,
+            "--unroll" => {
+                opts.unroll = value("--unroll")?
+                    .parse()
+                    .map_err(|e| format!("bad --unroll: {e}"))?
+            }
+            "--max-ii" => {
+                opts.max_ii = value("--max-ii")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-ii: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--show" => opts.show = true,
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> String {
+    "usage: lisa-map <kernel|core:<kernel>|rand:<seed>> [--arch 3x3|4x4|4x4-lr|4x4-lm|8x8|systolic] \
+     [--mapper lisa|sa|greedy|ilp] [--unroll k] [--max-ii n] [--seed n] [--show]"
+        .to_string()
+}
+
+fn build_arch(key: &str) -> Result<Accelerator, String> {
+    Ok(match key {
+        "3x3" => Accelerator::cgra("3x3", 3, 3),
+        "4x4" => Accelerator::cgra("4x4", 4, 4),
+        "4x4-lr" => Accelerator::cgra("4x4-lr", 4, 4).with_regs_per_pe(1),
+        "4x4-lm" => Accelerator::cgra("4x4-lm", 4, 4)
+            .with_memory(lisa::arch::MemoryConnectivity::LeftColumn),
+        "8x8" => Accelerator::cgra("8x8", 8, 8),
+        "systolic" => Accelerator::systolic("systolic-5x5", 5, 5),
+        other => return Err(format!("unknown architecture {other}\n{}", usage())),
+    })
+}
+
+fn build_dfg(spec: &str, factor: u32) -> Result<Dfg, String> {
+    let base = if let Some(seed) = spec.strip_prefix("rand:") {
+        let seed: u64 = seed.parse().map_err(|e| format!("bad rand seed: {e}"))?;
+        generate_random_dfg(&RandomDfgConfig::default(), seed)
+    } else if let Some(core) = spec.strip_prefix("core:") {
+        polybench::kernel_core(core).map_err(|e| e.to_string())?
+    } else {
+        polybench::kernel(spec).map_err(|e| e.to_string())?
+    };
+    Ok(if factor > 1 { unroll(&base, factor) } else { base })
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let acc = match build_arch(&opts.arch) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let dfg = match build_dfg(&opts.kernel, opts.unroll) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "mapping {} ({} nodes, {} edges) on {} with {}",
+        dfg.name(),
+        dfg.node_count(),
+        dfg.edge_count(),
+        acc.name(),
+        opts.mapper
+    );
+
+    let search = IiSearch {
+        max_ii: Some(opts.max_ii),
+    };
+    let (outcome, mapping) = match opts.mapper.as_str() {
+        "lisa" => {
+            eprintln!("training label models (quick scale)...");
+            let mut config = LisaConfig::fast();
+            config.training_dfgs = 24;
+            config.seed = opts.seed;
+            if acc.is_spatial_only() {
+                config = config.for_systolic();
+            }
+            let lisa = Lisa::train_for(&acc, &config);
+            lisa.map_capped(&dfg, &acc, opts.max_ii)
+        }
+        "sa" => {
+            let mut sa = SaMapper::new(SaParams::paper(), opts.seed);
+            search.run_with_mapping(&mut sa, &dfg, &acc)
+        }
+        "greedy" => {
+            let mut greedy = GreedyMapper::default();
+            search.run_with_mapping(&mut greedy, &dfg, &acc)
+        }
+        "ilp" => {
+            let mut ilp = ExactMapper::new(ExactParams::default());
+            search.run_with_mapping(&mut ilp, &dfg, &acc)
+        }
+        other => {
+            eprintln!("unknown mapper {other}\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+
+    match (outcome.ii, mapping) {
+        (Some(ii), Some(m)) => {
+            m.verify().expect("mapping invariants hold");
+            println!(
+                "mapped at II {ii} in {:.2?}: {} routing cells, makespan {}",
+                outcome.compile_time,
+                outcome.routing_cells,
+                m.makespan()
+            );
+            if opts.show {
+                println!("{}", render(&m));
+            }
+        }
+        _ => {
+            println!(
+                "could not map within II {} (took {:.2?})",
+                opts.max_ii, outcome.compile_time
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # LISA — GNN-based portable mapping on spatial accelerators
+//!
+//! A from-scratch Rust reproduction of *LISA: Graph Neural Network based
+//! Portable Mapping on Spatial Accelerators* (HPCA 2022). This facade
+//! crate re-exports the workspace members:
+//!
+//! * [`dfg`] — dataflow-graph IR, analyses, PolyBench kernels, generators;
+//! * [`arch`] — CGRA and systolic-array models, the modulo routing
+//!   resource graph, and the power model;
+//! * [`mapper`] — the Dijkstra router, vanilla/label-aware simulated
+//!   annealing, and the exact branch-and-bound (ILP substitute);
+//! * [`gnn`] — tensors, reverse-mode autodiff, and the four label
+//!   networks;
+//! * [`labels`] — the Attributes Generator, label extraction, iterative
+//!   training-data generation, and the label filter;
+//! * [`core`] — the end-to-end [`Lisa`] framework.
+//!
+//! # Example
+//!
+//! ```
+//! use lisa::arch::Accelerator;
+//! use lisa::core::{Lisa, LisaConfig};
+//! use lisa::dfg::polybench;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let acc = Accelerator::cgra("4x4", 4, 4);
+//! let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+//! let dfg = polybench::kernel("doitgen")?;
+//! let (outcome, _) = lisa.map_capped(&dfg, &acc, 8);
+//! assert!(outcome.mapped());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use lisa_arch as arch;
+pub use lisa_core as core;
+pub use lisa_dfg as dfg;
+pub use lisa_gnn as gnn;
+pub use lisa_labels as labels;
+pub use lisa_mapper as mapper;
+
+pub use lisa_core::{Lisa, LisaConfig};

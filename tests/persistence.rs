@@ -1,0 +1,61 @@
+//! Integration tests for trained-model persistence: export to disk,
+//! reload in a "fresh process" (new `Lisa` instance), and verify that the
+//! reloaded compiler behaves identically.
+
+use lisa::arch::Accelerator;
+use lisa::core::{Lisa, LisaConfig};
+use lisa::dfg::polybench;
+
+#[test]
+fn model_roundtrips_through_a_file() {
+    let acc = Accelerator::cgra("4x4", 4, 4);
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+
+    let dir = std::env::temp_dir().join("lisa-model-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("4x4.lisa-model");
+    std::fs::write(&path, lisa.export_model()).expect("write model");
+
+    let text = std::fs::read_to_string(&path).expect("read model");
+    let restored = Lisa::import_model(&LisaConfig::fast(), &text).expect("import");
+
+    // Identical label predictions on every benchmark kernel.
+    for name in ["gemm", "atax", "syr2k"] {
+        let dfg = polybench::kernel(name).unwrap();
+        assert_eq!(
+            lisa.predict_labels(&dfg),
+            restored.predict_labels(&dfg),
+            "{name}: predictions diverge after reload"
+        );
+    }
+
+    // And identical mapping outcomes (same labels + same seeds).
+    let dfg = polybench::kernel("doitgen").unwrap();
+    let (a, _) = lisa.map_capped(&dfg, &acc, 8);
+    let (b, _) = restored.map_capped(&dfg, &acc, 8);
+    assert_eq!(a.ii, b.ii);
+    assert_eq!(a.routing_cells, b.routing_cells);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_model_is_rejected_cleanly() {
+    let acc = Accelerator::cgra("3x3", 3, 3);
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+    let mut text = lisa.export_model();
+    // Corrupt a weight line in the middle.
+    let mid = text.len() / 2;
+    text.replace_range(mid..mid + 3, "zzz");
+    assert!(Lisa::import_model(&LisaConfig::fast(), &text).is_err());
+}
+
+#[test]
+fn exported_model_names_its_accelerator() {
+    let acc = Accelerator::systolic("systolic-5x5", 5, 5);
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast().for_systolic());
+    let text = lisa.export_model();
+    assert!(text.starts_with("lisa-model v1\naccelerator systolic-5x5\n"));
+    let restored = Lisa::import_model(&LisaConfig::fast(), &text).unwrap();
+    assert_eq!(restored.accelerator_name(), "systolic-5x5");
+}

@@ -1,0 +1,224 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the DFG generator, the unroller, the attribute generator, the
+//! mapping substrate, and label extraction.
+
+use lisa::arch::{Accelerator, PeId};
+use lisa::dfg::{analysis, generate_random_dfg, unroll::unroll, RandomDfgConfig};
+use lisa::labels::attributes::{DfgAttributes, EDGE_ATTR_DIM, NODE_ATTR_DIM};
+use lisa::labels::extract::labels_from_mapping;
+use lisa::mapper::schedule::IiSearch;
+use lisa::mapper::{SaMapper, SaParams};
+use proptest::prelude::*;
+
+fn small_dfg_config() -> RandomDfgConfig {
+    RandomDfgConfig {
+        min_nodes: 4,
+        max_nodes: 14,
+        ..RandomDfgConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The random generator always produces valid, weakly connected DFGs
+    /// whose ASAP levels respect every data edge.
+    #[test]
+    fn random_dfgs_are_valid(seed in 0u64..10_000) {
+        let dfg = generate_random_dfg(&small_dfg_config(), seed);
+        prop_assert!(dfg.validate().is_ok());
+        prop_assert!(dfg.is_weakly_connected());
+        let asap = analysis::asap(&dfg);
+        for e in dfg.edges() {
+            if e.kind == lisa::dfg::EdgeKind::Data {
+                prop_assert!(asap[e.src.index()] < asap[e.dst.index()]);
+            }
+        }
+    }
+
+    /// ALAP never precedes ASAP, and both respect the critical path.
+    #[test]
+    fn slack_is_nonnegative(seed in 0u64..10_000) {
+        let dfg = generate_random_dfg(&small_dfg_config(), seed);
+        let asap = analysis::asap(&dfg);
+        let alap = analysis::alap(&dfg);
+        let cp = analysis::critical_path_len(&dfg);
+        for v in dfg.node_ids() {
+            prop_assert!(alap[v.index()] >= asap[v.index()]);
+            prop_assert!(alap[v.index()] < cp);
+        }
+    }
+
+    /// Unrolling by k multiplies node count by k and preserves validity;
+    /// data-edge count scales at least k-fold.
+    #[test]
+    fn unroll_scales_structure(seed in 0u64..5_000, factor in 1u32..4) {
+        let body = generate_random_dfg(&small_dfg_config(), seed);
+        let u = unroll(&body, factor);
+        prop_assert!(u.validate().is_ok());
+        prop_assert_eq!(u.node_count(), body.node_count() * factor as usize);
+        prop_assert!(u.edge_count() >= body.edge_count() * factor as usize - factor as usize);
+    }
+
+    /// The Attributes Generator emits fixed-width finite vectors for every
+    /// node and edge of any valid DFG.
+    #[test]
+    fn attributes_have_fixed_shape(seed in 0u64..10_000) {
+        let dfg = generate_random_dfg(&small_dfg_config(), seed);
+        let attrs = DfgAttributes::generate(&dfg);
+        prop_assert_eq!(attrs.node.len(), dfg.node_count());
+        prop_assert_eq!(attrs.edge.len(), dfg.edge_count());
+        for v in &attrs.node {
+            prop_assert_eq!(v.len(), NODE_ATTR_DIM);
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+        }
+        for v in &attrs.edge {
+            prop_assert_eq!(v.len(), EDGE_ATTR_DIM);
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    /// Ancestor/descendant sets are duals: u is an ancestor of v iff v is
+    /// a descendant of u.
+    #[test]
+    fn ancestor_descendant_duality(seed in 0u64..5_000) {
+        let dfg = generate_random_dfg(&small_dfg_config(), seed);
+        let anc = analysis::ancestor_sets(&dfg);
+        let desc = analysis::descendant_sets(&dfg);
+        for u in dfg.node_ids() {
+            for v in dfg.node_ids() {
+                prop_assert_eq!(
+                    anc[v.index()].contains(u),
+                    desc[u.index()].contains(v)
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Mapping rounds are slower: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever SA produces verifies, and extracted labels satisfy the
+    /// physical constraints (temporal >= spatial, temporal >= 1).
+    #[test]
+    fn sa_mappings_verify_and_labels_are_physical(seed in 0u64..500) {
+        let dfg = generate_random_dfg(&small_dfg_config(), seed);
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let mut sa = SaMapper::new(SaParams::fast(), seed);
+        let (outcome, mapping) =
+            IiSearch { max_ii: Some(10) }.run_with_mapping(&mut sa, &dfg, &acc);
+        if let Some(m) = mapping {
+            prop_assert!(m.verify().is_ok(), "verify failed: {:?}", m.verify());
+            prop_assert_eq!(outcome.ii, Some(m.ii()));
+            let labels = labels_from_mapping(&m);
+            for (s, t) in labels.spatial.iter().zip(&labels.temporal) {
+                prop_assert!(*t >= 1.0);
+                prop_assert!(t >= s, "temporal {} < spatial {}", t, s);
+            }
+            for o in &labels.schedule_order {
+                prop_assert!(o.is_finite() && *o >= 0.0);
+            }
+        }
+    }
+
+    /// Placement and unplacement are inverses: after ripping every node,
+    /// the mapping is empty again and all cells are free.
+    #[test]
+    fn unplace_restores_empty_state(seed in 0u64..500) {
+        let dfg = generate_random_dfg(&small_dfg_config(), seed);
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let mut sa = SaMapper::new(SaParams::fast(), seed);
+        let (_, mapping) =
+            IiSearch { max_ii: Some(10) }.run_with_mapping(&mut sa, &dfg, &acc);
+        if let Some(mut m) = mapping {
+            for v in dfg.node_ids() {
+                m.unplace(v);
+            }
+            prop_assert_eq!(m.routing_cells(), 0);
+            prop_assert_eq!(m.unplaced_nodes().len(), dfg.node_count());
+            let a = m.activity();
+            prop_assert_eq!(a.total(), 0);
+            // Every FU is free again.
+            for pe in 0..acc.pe_count() {
+                for t in 0..m.ii() {
+                    prop_assert!(m.fu_free(PeId::new(pe), t));
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Direct router property: any returned route has exactly
+    /// `latency - 1` steps at strictly consecutive cycles, each step moving
+    /// to a structurally adjacent resource, and the final step can feed the
+    /// destination PE.
+    #[test]
+    fn router_paths_are_time_synchronised(
+        src in 0usize..16,
+        dst in 0usize..16,
+        latency in 1u32..8,
+        ii in 1u32..5,
+        blocked_mask in 0u64..u64::MAX,
+    ) {
+        use lisa::arch::{Mrrg, Resource};
+        use lisa::mapper::router::find_route;
+
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        let mrrg = Mrrg::new(&acc, ii).expect("ii in range");
+        let src_pe = PeId::new(src);
+        let dst_pe = PeId::new(dst);
+        // Pseudorandomly block some FU cells (never the endpoints).
+        let cost = |r: Resource, t: u32| -> Option<u32> {
+            let idx = mrrg.index_at(r, t) as u64 % 64;
+            if blocked_mask & (1 << idx) != 0 && r.is_fu() {
+                None
+            } else {
+                Some(1)
+            }
+        };
+        if let Some(steps) = find_route(&mrrg, lisa::dfg::NodeId::new(0), src_pe, 0, dst_pe, latency, cost) {
+            prop_assert_eq!(steps.len() as u32, latency - 1);
+            let mut prev = Resource::Fu(src_pe);
+            for (k, s) in steps.iter().enumerate() {
+                prop_assert_eq!(s.time, k as u32 + 1);
+                prop_assert!(
+                    mrrg.moves_from(prev).contains(&s.resource),
+                    "illegal move at step {}", k
+                );
+                prev = s.resource;
+            }
+            prop_assert!(mrrg.can_consume(prev, dst_pe));
+        } else if latency > 8 {
+            // Unreachable: routes within the grid diameter always exist in
+            // the unblocked case, but blocked masks may legitimately cut
+            // all paths — nothing further to assert.
+        }
+    }
+
+    /// Label extraction and re-ingestion: labels extracted from any valid
+    /// mapping can always drive a fresh label-aware mapper without
+    /// violating its shape assertions.
+    #[test]
+    fn extracted_labels_are_consumable(seed in 0u64..300) {
+        use lisa::mapper::{LabelSaMapper, SaParams};
+        use lisa::mapper::schedule::IiMapper;
+
+        let dfg = generate_random_dfg(&small_dfg_config(), seed);
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let mut sa = SaMapper::new(SaParams::fast(), seed);
+        let (_, mapping) =
+            IiSearch { max_ii: Some(8) }.run_with_mapping(&mut sa, &dfg, &acc);
+        if let Some(m) = mapping {
+            let labels = labels_from_mapping(&m);
+            prop_assert!(labels.matches(&dfg));
+            let mut lisa = LabelSaMapper::new(labels, SaParams::fast(), seed);
+            // One II attempt must not panic; success is not required.
+            let _ = lisa.map_at_ii(&dfg, &acc, m.ii());
+        }
+    }
+}
