@@ -134,7 +134,10 @@ impl Accelerator {
     /// Panics if there are fewer than 3 columns or zero rows.
     pub fn systolic(name: impl Into<String>, rows: usize, cols: usize) -> Self {
         assert!(rows > 0, "grid dimensions must be positive");
-        assert!(cols >= 3, "systolic array needs load, compute, store columns");
+        assert!(
+            cols >= 3,
+            "systolic array needs load, compute, store columns"
+        );
         let neighbors = systolic_neighbors(rows, cols);
         Accelerator {
             name: name.into(),
@@ -177,7 +180,9 @@ impl Accelerator {
     /// fixed by construction.
     pub fn with_heterogeneity(mut self, heterogeneity: Heterogeneity) -> Self {
         match &mut self.kind {
-            AcceleratorKind::Cgra { heterogeneity: h, .. } => *h = heterogeneity,
+            AcceleratorKind::Cgra {
+                heterogeneity: h, ..
+            } => *h = heterogeneity,
             AcceleratorKind::Systolic => {
                 panic!("PE functions are fixed on systolic arrays")
             }
@@ -210,9 +215,7 @@ impl Accelerator {
             Interconnect::Mesh | Interconnect::MultiHop { radius: 1 } => {
                 mesh_neighbors(self.rows, self.cols)
             }
-            Interconnect::MultiHop { radius } => {
-                multihop_neighbors(self.rows, self.cols, radius)
-            }
+            Interconnect::MultiHop { radius } => multihop_neighbors(self.rows, self.cols, radius),
         };
         self
     }
@@ -586,8 +589,7 @@ mod heterogeneity_tests {
     #[test]
     #[should_panic(expected = "PE functions are fixed")]
     fn systolic_rejects_heterogeneity_override() {
-        let _ = Accelerator::systolic("s", 5, 5)
-            .with_heterogeneity(Heterogeneity::CheckerboardMul);
+        let _ = Accelerator::systolic("s", 5, 5).with_heterogeneity(Heterogeneity::CheckerboardMul);
     }
 }
 
@@ -597,14 +599,14 @@ mod interconnect_tests {
 
     #[test]
     fn multihop_radius_two_reaches_diagonals() {
-        let a = Accelerator::cgra("hy", 4, 4)
-            .with_interconnect(Interconnect::MultiHop { radius: 2 });
+        let a =
+            Accelerator::cgra("hy", 4, 4).with_interconnect(Interconnect::MultiHop { radius: 2 });
         // PE5 (1,1): radius-2 ball minus self.
         let n = a.neighbors(PeId::new(5));
         assert!(n.contains(&PeId::new(0))); // (0,0), distance 2
         assert!(n.contains(&PeId::new(10))); // (2,2), distance 2
         assert!(!n.contains(&PeId::new(15))); // (3,3), distance 4
-        // Mesh would give 4; radius 2 gives 4 + diagonals + straight-2s.
+                                              // Mesh would give 4; radius 2 gives 4 + diagonals + straight-2s.
         assert!(n.len() > 4);
         // Links stay symmetric.
         for &q in n {
@@ -615,8 +617,8 @@ mod interconnect_tests {
     #[test]
     fn radius_one_equals_mesh() {
         let mesh = Accelerator::cgra("m", 3, 3);
-        let hop1 = Accelerator::cgra("m", 3, 3)
-            .with_interconnect(Interconnect::MultiHop { radius: 1 });
+        let hop1 =
+            Accelerator::cgra("m", 3, 3).with_interconnect(Interconnect::MultiHop { radius: 1 });
         for i in 0..9 {
             assert_eq!(mesh.neighbors(PeId::new(i)), hop1.neighbors(PeId::new(i)));
         }

@@ -26,7 +26,9 @@ mod mrrg;
 mod pe;
 pub mod power;
 
-pub use accelerator::{Accelerator, AcceleratorKind, Heterogeneity, Interconnect, MemoryConnectivity};
+pub use accelerator::{
+    Accelerator, AcceleratorKind, Heterogeneity, Interconnect, MemoryConnectivity,
+};
 pub use error::ArchError;
 pub use mrrg::{Mrrg, Resource};
 pub use pe::{Coord, PeId};

@@ -197,8 +197,8 @@ mod tests {
         for t in 0..3 {
             for p in 0..9 {
                 let pe = PeId::new(p);
-                for r in std::iter::once(Resource::Fu(pe))
-                    .chain((0..2).map(|i| Resource::Reg(pe, i)))
+                for r in
+                    std::iter::once(Resource::Fu(pe)).chain((0..2).map(|i| Resource::Reg(pe, i)))
                 {
                     let idx = mrrg.index_at(r, t);
                     assert!(idx < mrrg.resource_count());

@@ -1,46 +1,38 @@
 //! Ablation benches for LISA's design choices (DESIGN.md §7): label
-//! subsets in the placement cost and the σ deviation schedule.
+//! subsets in the placement cost and the σ deviation schedule. Full mapper
+//! runs: registered heavy, so `cargo test` smoke mode skips them.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lisa_arch::Accelerator;
+use lisa_bench::timing::Suite;
 use lisa_dfg::polybench;
 use lisa_mapper::schedule::IiSearch;
 use lisa_mapper::{GuidanceLabels, LabelSaMapper, SaParams};
 
-fn bench_label_modes(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::from_args("ablation");
     let acc = Accelerator::cgra("4x4", 4, 4);
     let search = IiSearch { max_ii: Some(10) };
     let dfg = polybench::kernel("syr2k").unwrap();
     let labels = GuidanceLabels::initial(&dfg);
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::new("mode", "full"), |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            let mut m = LabelSaMapper::new(labels.clone(), SaParams::fast(), seed);
-            std::hint::black_box(search.run(&mut m, &dfg, &acc))
-        })
-    });
-    group.bench_function(BenchmarkId::new("mode", "routing_priority_only"), |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            let mut m =
-                LabelSaMapper::routing_priority_only(labels.clone(), SaParams::fast(), seed);
-            std::hint::black_box(search.run(&mut m, &dfg, &acc))
-        })
-    });
-    group.bench_function(BenchmarkId::new("mode", "initial_only"), |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            let mut m = LabelSaMapper::initial_only(labels.clone(), SaParams::fast(), seed);
-            std::hint::black_box(search.run(&mut m, &dfg, &acc))
-        })
-    });
-    group.finish();
-}
 
-criterion_group!(benches, bench_label_modes);
-criterion_main!(benches);
+    let mut seed = 0;
+    suite.bench_heavy("mode/full", || {
+        seed += 1;
+        let mut m = LabelSaMapper::new(labels.clone(), SaParams::fast(), seed);
+        std::hint::black_box(search.run(&mut m, &dfg, &acc));
+    });
+    let mut seed = 0;
+    suite.bench_heavy("mode/routing_priority_only", || {
+        seed += 1;
+        let mut m = LabelSaMapper::routing_priority_only(labels.clone(), SaParams::fast(), seed);
+        std::hint::black_box(search.run(&mut m, &dfg, &acc));
+    });
+    let mut seed = 0;
+    suite.bench_heavy("mode/initial_only", || {
+        seed += 1;
+        let mut m = LabelSaMapper::initial_only(labels.clone(), SaParams::fast(), seed);
+        std::hint::black_box(search.run(&mut m, &dfg, &acc));
+    });
+
+    suite.finish();
+}

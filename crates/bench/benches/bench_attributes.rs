@@ -1,21 +1,23 @@
-//! Criterion benches for the Attributes Generator (paper §IV-A).
+//! Benches for the Attributes Generator (paper §IV-A).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lisa_bench::timing::Suite;
 use lisa_dfg::polybench;
 use lisa_labels::DfgAttributes;
 
-fn bench_attribute_generation(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::from_args("attributes");
+
     for name in ["doitgen", "gemm", "syr2k"] {
         let dfg = polybench::kernel(name).unwrap();
-        c.bench_function(&format!("attributes/generate_{name}"), |b| {
-            b.iter(|| std::hint::black_box(DfgAttributes::generate(&dfg)))
+        suite.bench(&format!("generate_{name}"), || {
+            std::hint::black_box(DfgAttributes::generate(&dfg));
         });
     }
-    let unrolled = polybench::unrolled_kernels(&["symm"]).remove(0);
-    c.bench_function("attributes/generate_symm_u2", |b| {
-        b.iter(|| std::hint::black_box(DfgAttributes::generate(&unrolled)))
-    });
-}
 
-criterion_group!(benches, bench_attribute_generation);
-criterion_main!(benches);
+    let unrolled = polybench::unrolled_kernels(&["symm"]).remove(0);
+    suite.bench("generate_symm_u2", || {
+        std::hint::black_box(DfgAttributes::generate(&unrolled));
+    });
+
+    suite.finish();
+}

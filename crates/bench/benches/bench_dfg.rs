@@ -1,42 +1,32 @@
-//! Criterion benches for DFG construction and analyses.
+//! Benches for DFG construction and analyses.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lisa_bench::timing::Suite;
 use lisa_dfg::{analysis, polybench, random, same_level, RandomDfgConfig};
 
-fn bench_polybench_build(c: &mut Criterion) {
-    c.bench_function("dfg/build_all_kernels", |b| {
-        b.iter(|| std::hint::black_box(polybench::all_kernels()))
-    });
-}
+fn main() {
+    let mut suite = Suite::from_args("dfg");
 
-fn bench_analyses(c: &mut Criterion) {
+    suite.bench("build_all_kernels", || {
+        std::hint::black_box(polybench::all_kernels());
+    });
+
     let dfg = polybench::kernel("syr2k").unwrap();
-    c.bench_function("dfg/asap_syr2k", |b| {
-        b.iter(|| std::hint::black_box(analysis::asap(&dfg)))
+    suite.bench("asap_syr2k", || {
+        std::hint::black_box(analysis::asap(&dfg));
     });
-    c.bench_function("dfg/ancestors_syr2k", |b| {
-        b.iter(|| std::hint::black_box(analysis::ancestor_sets(&dfg)))
+    suite.bench("ancestors_syr2k", || {
+        std::hint::black_box(analysis::ancestor_sets(&dfg));
     });
-    c.bench_function("dfg/dummy_edges_syr2k", |b| {
-        b.iter(|| std::hint::black_box(same_level::dummy_edges_annotated(&dfg)))
+    suite.bench("dummy_edges_syr2k", || {
+        std::hint::black_box(same_level::dummy_edges_annotated(&dfg));
     });
-}
 
-fn bench_random_generation(c: &mut Criterion) {
     let cfg = RandomDfgConfig::default();
     let mut seed = 0u64;
-    c.bench_function("dfg/random_generate", |b| {
-        b.iter(|| {
-            seed = seed.wrapping_add(1);
-            std::hint::black_box(random::generate_random_dfg(&cfg, seed))
-        })
+    suite.bench("random_generate", || {
+        seed = seed.wrapping_add(1);
+        std::hint::black_box(random::generate_random_dfg(&cfg, seed));
     });
-}
 
-criterion_group!(
-    benches,
-    bench_polybench_build,
-    bench_analyses,
-    bench_random_generation
-);
-criterion_main!(benches);
+    suite.finish();
+}

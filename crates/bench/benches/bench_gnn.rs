@@ -1,8 +1,8 @@
-//! Criterion benches for GNN label inference and training (paper §VI-B:
-//! the trained model generates labels "very fast" compared to the
-//! iterative method — these benches quantify that).
+//! Benches for GNN label inference and training (paper §VI-B: the trained
+//! model generates labels "very fast" compared to the iterative method —
+//! these benches quantify that).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lisa_bench::timing::Suite;
 use lisa_dfg::polybench;
 use lisa_gnn::dataset::{EdgeSample, NodeGraphSample};
 use lisa_gnn::models::{EdgeMlp, ScheduleOrderNet};
@@ -19,21 +19,21 @@ fn schedule_sample() -> NodeGraphSample {
     }
 }
 
-fn bench_inference(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::from_args("gnn");
+
     let net = ScheduleOrderNet::new(NODE_ATTR_DIM, 0);
     let sample = schedule_sample();
-    c.bench_function("gnn/schedule_order_inference_syr2k", |b| {
-        b.iter(|| std::hint::black_box(net.predict(&sample)))
+    suite.bench("schedule_order_inference_syr2k", || {
+        std::hint::black_box(net.predict(&sample));
     });
 
     let mlp = EdgeMlp::new(EDGE_ATTR_DIM, 0);
     let attrs = vec![1.0; EDGE_ATTR_DIM];
-    c.bench_function("gnn/edge_mlp_inference", |b| {
-        b.iter(|| std::hint::black_box(mlp.predict(&attrs)))
+    suite.bench("edge_mlp_inference", || {
+        std::hint::black_box(mlp.predict(&attrs));
     });
-}
 
-fn bench_training_epoch(c: &mut Criterion) {
     let samples: Vec<EdgeSample> = (0..64)
         .map(|i| EdgeSample {
             attrs: vec![f64::from(i % 7); EDGE_ATTR_DIM],
@@ -44,13 +44,10 @@ fn bench_training_epoch(c: &mut Criterion) {
         epochs: 1,
         ..TrainConfig::paper()
     };
-    c.bench_function("gnn/edge_mlp_train_epoch_64", |b| {
-        b.iter(|| {
-            let mut net = EdgeMlp::new(EDGE_ATTR_DIM, 1);
-            std::hint::black_box(net.train(&samples, &cfg))
-        })
+    suite.bench("edge_mlp_train_epoch_64", || {
+        let mut net = EdgeMlp::new(EDGE_ATTR_DIM, 1);
+        std::hint::black_box(net.train(&samples, &cfg));
     });
-}
 
-criterion_group!(benches, bench_inference, bench_training_epoch);
-criterion_main!(benches);
+    suite.finish();
+}

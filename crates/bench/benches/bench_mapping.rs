@@ -1,48 +1,42 @@
-//! Criterion benches for the three mappers — the kernel behind the
-//! compilation-time comparison of Fig. 11.
+//! Benches for the three mappers — the kernel behind the compilation-time
+//! comparison of Fig. 11. Mapper runs take seconds, so they register as
+//! heavy benches: fewer samples, skipped in `cargo test` smoke mode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lisa_arch::Accelerator;
+use lisa_bench::timing::Suite;
 use lisa_dfg::polybench;
 use lisa_mapper::exact::{ExactMapper, ExactParams};
 use lisa_mapper::schedule::IiSearch;
 use lisa_mapper::{GuidanceLabels, LabelSaMapper, SaMapper, SaParams};
 
-fn bench_mappers(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::from_args("mapping");
     let acc = Accelerator::cgra("4x4", 4, 4);
     let search = IiSearch { max_ii: Some(10) };
-    let mut group = c.benchmark_group("mapping");
-    group.sample_size(10);
+
     for name in ["doitgen", "gemm", "mvt"] {
         let dfg = polybench::kernel(name).unwrap();
-        group.bench_with_input(BenchmarkId::new("sa", name), &dfg, |b, dfg| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                let mut sa = SaMapper::new(SaParams::fast(), seed);
-                std::hint::black_box(search.run(&mut sa, dfg, &acc))
-            })
+        let mut seed = 0;
+        suite.bench_heavy(&format!("sa/{name}"), || {
+            seed += 1;
+            let mut sa = SaMapper::new(SaParams::fast(), seed);
+            std::hint::black_box(search.run(&mut sa, &dfg, &acc));
         });
-        group.bench_with_input(BenchmarkId::new("lisa_initial_labels", name), &dfg, |b, dfg| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                let labels = GuidanceLabels::initial(dfg);
-                let mut lisa = LabelSaMapper::new(labels, SaParams::fast(), seed);
-                std::hint::black_box(search.run(&mut lisa, dfg, &acc))
-            })
+        let mut seed = 0;
+        suite.bench_heavy(&format!("lisa_initial_labels/{name}"), || {
+            seed += 1;
+            let labels = GuidanceLabels::initial(&dfg);
+            let mut lisa = LabelSaMapper::new(labels, SaParams::fast(), seed);
+            std::hint::black_box(search.run(&mut lisa, &dfg, &acc));
         });
     }
+
     // The exact mapper only on the smallest kernel (it is the slow one).
     let dfg = polybench::kernel("doitgen").unwrap();
-    group.bench_with_input(BenchmarkId::new("ilp", "doitgen"), &dfg, |b, dfg| {
-        b.iter(|| {
-            let mut ilp = ExactMapper::new(ExactParams::fast());
-            std::hint::black_box(search.run(&mut ilp, dfg, &acc))
-        })
+    suite.bench_heavy("ilp/doitgen", || {
+        let mut ilp = ExactMapper::new(ExactParams::fast());
+        std::hint::black_box(search.run(&mut ilp, &dfg, &acc));
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_mappers);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -1,73 +1,58 @@
-//! Criterion benches for the Dijkstra router over the time-expanded MRRG.
+//! Benches for the Dijkstra router over the time-expanded MRRG.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lisa_arch::{Accelerator, Mrrg, PeId, Resource};
+use lisa_bench::timing::Suite;
 use lisa_dfg::NodeId;
 use lisa_mapper::router::find_route;
 
-fn bench_short_route(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::from_args("router");
+
     let acc = Accelerator::cgra("4x4", 4, 4);
     let mrrg = Mrrg::new(&acc, 4).unwrap();
-    c.bench_function("router/adjacent_4x4", |b| {
-        b.iter(|| {
-            find_route(
-                &mrrg,
-                NodeId::new(0),
-                PeId::new(5),
-                0,
-                PeId::new(6),
-                1,
-                |_r: Resource, _t| Some(1),
-            )
-        })
+    suite.bench("adjacent_4x4", || {
+        std::hint::black_box(find_route(
+            &mrrg,
+            NodeId::new(0),
+            PeId::new(5),
+            0,
+            PeId::new(6),
+            1,
+            |_r: Resource, _t| Some(1),
+        ));
     });
-}
 
-fn bench_cross_chip_route(c: &mut Criterion) {
-    let acc = Accelerator::cgra("8x8", 8, 8);
-    let mrrg = Mrrg::new(&acc, 8).unwrap();
-    c.bench_function("router/corner_to_corner_8x8", |b| {
-        b.iter(|| {
-            find_route(
-                &mrrg,
-                NodeId::new(0),
-                PeId::new(0),
-                0,
-                PeId::new(63),
-                14,
-                |_r: Resource, _t| Some(1),
-            )
-        })
+    let acc8 = Accelerator::cgra("8x8", 8, 8);
+    let mrrg8 = Mrrg::new(&acc8, 8).unwrap();
+    suite.bench("corner_to_corner_8x8", || {
+        std::hint::black_box(find_route(
+            &mrrg8,
+            NodeId::new(0),
+            PeId::new(0),
+            0,
+            PeId::new(63),
+            14,
+            |_r: Resource, _t| Some(1),
+        ));
     });
-}
 
-fn bench_congested_route(c: &mut Criterion) {
-    let acc = Accelerator::cgra("4x4", 4, 4);
-    let mrrg = Mrrg::new(&acc, 6).unwrap();
+    let mrrg6 = Mrrg::new(&acc, 6).unwrap();
     // Only even-index PEs usable: forces detours.
     let filter = |r: Resource, _t: u32| match r {
         Resource::Fu(p) if p.index() % 2 == 1 => None,
         _ => Some(1),
     };
-    c.bench_function("router/congested_4x4", |b| {
-        b.iter(|| {
-            find_route(
-                &mrrg,
-                NodeId::new(0),
-                PeId::new(0),
-                0,
-                PeId::new(10),
-                8,
-                filter,
-            )
-        })
+    suite.bench("congested_4x4", || {
+        std::hint::black_box(find_route(
+            &mrrg6,
+            NodeId::new(0),
+            PeId::new(0),
+            0,
+            PeId::new(10),
+            8,
+            filter,
+        ));
     });
-}
 
-criterion_group!(
-    benches,
-    bench_short_route,
-    bench_cross_chip_route,
-    bench_congested_route
-);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -9,8 +9,7 @@ use lisa_bench::Harness;
 
 fn main() {
     let harness = Harness::from_env();
-    let acc = Accelerator::cgra("4x4-het", 4, 4)
-        .with_heterogeneity(Heterogeneity::CheckerboardMul);
+    let acc = Accelerator::cgra("4x4-het", 4, 4).with_heterogeneity(Heterogeneity::CheckerboardMul);
     let lisa = harness.train_lisa(&acc);
 
     println!();

@@ -13,8 +13,8 @@ use lisa_mapper::SaMapper;
 fn main() {
     let harness = Harness::from_env();
     let mesh = Accelerator::cgra("4x4-mesh", 4, 4);
-    let hycube = Accelerator::cgra("4x4-hop2", 4, 4)
-        .with_interconnect(Interconnect::MultiHop { radius: 2 });
+    let hycube =
+        Accelerator::cgra("4x4-hop2", 4, 4).with_interconnect(Interconnect::MultiHop { radius: 2 });
 
     println!("Extension: mesh vs multi-hop interconnect (vanilla SA II)");
     println!("{:<12} {:>8} {:>8}", "benchmark", "mesh", "hop-2");

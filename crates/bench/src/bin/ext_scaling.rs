@@ -13,10 +13,7 @@ fn main() {
     let harness = Harness::from_env();
     let dfg = lisa_dfg::polybench::kernel("gemm").expect("built-in kernel");
     println!("Extension: gemm across CGRA sizes (II / compile time)");
-    println!(
-        "{:<6} {:>16} {:>16} {:>16}",
-        "array", "ILP", "SA", "LISA"
-    );
+    println!("{:<6} {:>16} {:>16} {:>16}", "array", "ILP", "SA", "LISA");
     for size in 2..=6 {
         let acc = lisa_arch::Accelerator::cgra(format!("{size}x{size}"), size, size);
         let search = IiSearch {

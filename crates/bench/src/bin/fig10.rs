@@ -18,10 +18,7 @@ fn main() {
         let lisa = harness.train_lisa(&acc);
         println!();
         println!("Figure 10 ({key} baseline CGRA): MOPS/W normalised to LISA");
-        println!(
-            "{:<12} {:>8} {:>8} {:>8}",
-            "benchmark", "ILP", "SA", "LISA"
-        );
+        println!("{:<12} {:>8} {:>8} {:>8}", "benchmark", "ILP", "SA", "LISA");
         let mut cases: Vec<CaseResult> = Vec::new();
         let mut sa_ratios: Vec<f64> = Vec::new();
         for dfg in lisa_dfg::polybench::all_kernels() {

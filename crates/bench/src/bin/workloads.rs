@@ -3,8 +3,8 @@
 //! systolic compute cores). Useful for sanity-checking that the hand-built
 //! DFGs land in the ranges real CGRA compilers handle.
 
-use lisa_dfg::stats::DfgStats;
 use lisa_dfg::polybench;
+use lisa_dfg::stats::DfgStats;
 
 fn print_group(title: &str, dfgs: &[lisa_dfg::Dfg]) {
     println!();
@@ -32,7 +32,10 @@ fn print_group(title: &str, dfgs: &[lisa_dfg::Dfg]) {
 }
 
 fn main() {
-    print_group("PolyBench kernels (Fig. 9a/b/c/e)", &polybench::all_kernels());
+    print_group(
+        "PolyBench kernels (Fig. 9a/b/c/e)",
+        &polybench::all_kernels(),
+    );
     print_group(
         "Unrolled x2 (Fig. 9d/f)",
         &polybench::unrolled_kernels(&polybench::UNROLLED_8X8_NAMES),

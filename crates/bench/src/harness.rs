@@ -289,8 +289,6 @@ mod tests {
         let q = Harness::new(Scale::Quick);
         let p = Harness::new(Scale::Paper);
         assert!(q.exact_params().time_limit < p.exact_params().time_limit);
-        assert!(
-            q.lisa_config(false).training_dfgs < p.lisa_config(false).training_dfgs
-        );
+        assert!(q.lisa_config(false).training_dfgs < p.lisa_config(false).training_dfgs);
     }
 }

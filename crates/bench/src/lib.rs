@@ -9,8 +9,13 @@
 //! Set `LISA_SCALE=paper` for full-scale runs (more training DFGs and
 //! epochs, longer ILP budgets); the default `quick` scale reproduces the
 //! qualitative shapes in minutes.
+//!
+//! Micro-benchmarks under `benches/` run on the in-repo [`timing`]
+//! harness (`cargo bench`); under `cargo test` they execute in smoke
+//! mode, so the whole suite stays hermetic and offline.
 
 pub mod harness;
 pub mod tables;
+pub mod timing;
 
 pub use harness::{CaseResult, Harness, Scale};

@@ -1,0 +1,251 @@
+//! Lightweight in-repo micro-benchmark harness — the hermetic replacement
+//! for `criterion`.
+//!
+//! Each `benches/*.rs` target builds a [`Suite`], registers closures, and
+//! calls [`Suite::finish`]. Under `cargo bench` (cargo passes `--bench` to
+//! `harness = false` targets) every benchmark is measured: a time-boxed
+//! warmup estimates the per-iteration cost, then N timed samples of many
+//! iterations each are taken and the **median ns/iter** is reported —
+//! medians resist scheduler noise far better than means. Results are
+//! printed and written as `BENCH_<suite>.json` (under `target/bench/`, or
+//! `$LISA_BENCH_DIR`), one file per suite, so successive runs form a
+//! machine-readable trajectory.
+//!
+//! Under `cargo test` (no `--bench` flag) the suite runs in *smoke mode*:
+//! each cheap benchmark body executes once as a correctness check and
+//! [`Suite::bench_heavy`] registrations are skipped, keeping tier-1 verify
+//! fast while still compiling and exercising the bench code offline.
+
+use std::time::{Duration, Instant};
+
+/// Samples per benchmark in the default (cheap) tier.
+const SAMPLES: usize = 11;
+/// Samples per benchmark in the heavy tier (multi-second bodies).
+const HEAVY_SAMPLES: usize = 5;
+/// Warmup budget before measurement.
+const WARMUP: Duration = Duration::from_millis(100);
+/// Target wall-clock per timed sample.
+const SAMPLE_TIME: Duration = Duration::from_millis(50);
+
+/// One benchmark's aggregated measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name, e.g. `router/adjacent_4x4`.
+    pub name: String,
+    /// Median nanoseconds per iteration over all samples.
+    pub median_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Measure,
+    /// One iteration per cheap benchmark, heavies skipped (`cargo test`).
+    Smoke,
+}
+
+/// A named collection of benchmarks sharing one output file.
+#[derive(Debug)]
+pub struct Suite {
+    name: String,
+    mode: Mode,
+    results: Vec<Measurement>,
+}
+
+impl Suite {
+    /// Creates a suite, selecting the mode from the process arguments the
+    /// way criterion did: `cargo bench` passes `--bench`, `cargo test`
+    /// does not.
+    pub fn from_args(name: &str) -> Suite {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Suite::new(name, if measure { Mode::Measure } else { Mode::Smoke })
+    }
+
+    fn new(name: &str, mode: Mode) -> Suite {
+        Suite {
+            name: name.to_string(),
+            mode,
+            results: Vec::new(),
+        }
+    }
+
+    /// Registers and runs a cheap benchmark (sub-millisecond to
+    /// low-millisecond bodies). In smoke mode the body runs once.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        match self.mode {
+            Mode::Smoke => {
+                f();
+                println!("smoke {}/{name}: ok", self.name);
+            }
+            Mode::Measure => {
+                let m = measure(name, SAMPLES, &mut f);
+                print_measurement(&self.name, &m);
+                self.results.push(m);
+            }
+        }
+    }
+
+    /// Registers a heavy benchmark (bodies taking seconds, e.g. full
+    /// mapper runs). Fewer samples, one warmup iteration, and skipped
+    /// entirely in smoke mode to keep `cargo test` fast.
+    pub fn bench_heavy(&mut self, name: &str, mut f: impl FnMut()) {
+        match self.mode {
+            Mode::Smoke => {
+                println!("smoke {}/{name}: skipped (heavy)", self.name);
+            }
+            Mode::Measure => {
+                let m = measure(name, HEAVY_SAMPLES, &mut f);
+                print_measurement(&self.name, &m);
+                self.results.push(m);
+            }
+        }
+    }
+
+    /// Finalises the suite: in measure mode, writes `BENCH_<suite>.json`.
+    pub fn finish(self) {
+        if self.mode == Mode::Smoke {
+            return;
+        }
+        // Cargo runs bench binaries with the package dir as CWD; anchor
+        // the default output to the workspace-level target dir.
+        let dir = std::env::var("LISA_BENCH_DIR").unwrap_or_else(|_| {
+            match std::env::var("CARGO_MANIFEST_DIR") {
+                Ok(m) => format!("{m}/../../target/bench"),
+                Err(_) => "target/bench".to_string(),
+            }
+        });
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("[bench] cannot create {dir}: {e}");
+            return;
+        }
+        let path = format!("{dir}/BENCH_{}.json", self.name);
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("[bench] wrote {path}"),
+            Err(e) => eprintln!("[bench] cannot write {path}: {e}"),
+        }
+    }
+
+    /// The suite's results as a JSON document (hand-rolled: the hermetic
+    /// build has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", escape(&self.name)));
+        out.push_str("  \"results\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                escape(&m.name),
+                m.median_ns,
+                m.samples,
+                m.iters_per_sample,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Completed measurements (for tests and tooling).
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// Warmup then median-of-N measurement of one benchmark body.
+fn measure(name: &str, samples: usize, f: &mut dyn FnMut()) -> Measurement {
+    // Warmup: run until the budget elapses (at least once) to fault in
+    // caches and estimate the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    loop {
+        f();
+        warm_iters += 1;
+        if warm_start.elapsed() >= WARMUP {
+            break;
+        }
+    }
+    let est_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+    let iters = ((SAMPLE_TIME.as_nanos() as f64 / est_ns).round() as u64).max(1);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    Measurement {
+        name: name.to_string(),
+        median_ns: per_iter[per_iter.len() / 2],
+        samples,
+        iters_per_sample: iters,
+    }
+}
+
+fn print_measurement(suite: &str, m: &Measurement) {
+    println!(
+        "bench {suite}/{name}: {median:.0} ns/iter (median of {s} × {i} iters)",
+        name = m.name,
+        median = m.median_ns,
+        s = m.samples,
+        i = m.iters_per_sample,
+    );
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_iterations_and_orders_samples() {
+        let mut calls = 0u64;
+        let m = measure("noop", 3, &mut || calls += 1);
+        assert!(calls >= 3, "warmup plus samples must call the body");
+        assert_eq!(m.samples, 3);
+        assert!(m.iters_per_sample >= 1);
+        assert!(m.median_ns >= 0.0);
+    }
+
+    #[test]
+    fn smoke_mode_runs_cheap_once_and_skips_heavy() {
+        let mut suite = Suite::new("t", Mode::Smoke);
+        let mut cheap = 0;
+        let mut heavy = 0;
+        suite.bench("cheap", || cheap += 1);
+        suite.bench_heavy("heavy", || heavy += 1);
+        assert_eq!(cheap, 1);
+        assert_eq!(heavy, 0);
+        assert!(suite.results().is_empty());
+    }
+
+    #[test]
+    fn json_output_has_suite_and_rows() {
+        let mut suite = Suite::new("unit", Mode::Measure);
+        suite.results.push(Measurement {
+            name: "a/b".into(),
+            median_ns: 12.5,
+            samples: 11,
+            iters_per_sample: 100,
+        });
+        let json = suite.to_json();
+        assert!(json.contains("\"suite\": \"unit\""));
+        assert!(json.contains("\"name\": \"a/b\""));
+        assert!(json.contains("\"median_ns\": 12.5"));
+    }
+
+    #[test]
+    fn escape_handles_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -97,10 +97,6 @@ mod tests {
     #[test]
     fn systolic_variant_restricts_ops() {
         let c = LisaConfig::fast().for_systolic();
-        assert!(c
-            .dfg
-            .interior_ops
-            .iter()
-            .all(|op| op.systolic_supported()));
+        assert!(c.dfg.interior_ops.iter().all(|op| op.systolic_supported()));
     }
 }

@@ -12,10 +12,10 @@ use lisa_dfg::{random, Dfg};
 use lisa_gnn::dataset::NodeGraphSample;
 use lisa_gnn::metrics::{accuracy, LabelKind};
 use lisa_gnn::models::{EdgeMlp, ScheduleOrderNet, SpatialNet};
-use lisa_mapper::schedule::IiSearch;
-use lisa_mapper::{GuidanceLabels, LabelSaMapper, Mapping, MappingOutcome};
 use lisa_labels::attributes::{DfgAttributes, DUMMY_ATTR_DIM, EDGE_ATTR_DIM, NODE_ATTR_DIM};
 use lisa_labels::{filter, generate_labels, TrainingSet};
+use lisa_mapper::schedule::IiSearch;
+use lisa_mapper::{GuidanceLabels, LabelSaMapper, Mapping, MappingOutcome};
 
 use crate::report::{LabelAccuracy, TrainingStats};
 use crate::LisaConfig;
@@ -72,8 +72,7 @@ impl Lisa {
         // 3. Train/holdout split by graph.
         let holdout_len = ((labelled.len() as f64) * config.holdout_fraction).round() as usize;
         let holdout_len = holdout_len.min(labelled.len().saturating_sub(1));
-        let (train_graphs, holdout_graphs) =
-            labelled.split_at(labelled.len() - holdout_len);
+        let (train_graphs, holdout_graphs) = labelled.split_at(labelled.len() - holdout_len);
 
         let mut train_set = TrainingSet::new();
         for (dfg, labels) in train_graphs {

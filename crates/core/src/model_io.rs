@@ -65,8 +65,7 @@ impl Error for ModelImportError {
     }
 }
 
-pub(crate) const SECTIONS: [&str; 4] =
-    ["schedule_order", "same_level", "spatial", "temporal"];
+pub(crate) const SECTIONS: [&str; 4] = ["schedule_order", "same_level", "spatial", "temporal"];
 
 /// Assembles the sectioned model text.
 pub(crate) fn assemble(accelerator: &str, parts: [String; 4]) -> String {
@@ -98,7 +97,10 @@ pub(crate) fn disassemble(text: &str) -> Result<(String, [String; 4]), ModelImpo
     let mut parts: [String; 4] = Default::default();
     let mut current: Option<usize> = None;
     for line in lines {
-        if let Some(name) = line.strip_prefix("=== ").and_then(|l| l.strip_suffix(" ===")) {
+        if let Some(name) = line
+            .strip_prefix("=== ")
+            .and_then(|l| l.strip_suffix(" ==="))
+        {
             current = SECTIONS.iter().position(|s| *s == name);
             continue;
         }

@@ -73,7 +73,11 @@ impl NodeSet {
     pub fn intersection(&self, other: &NodeSet) -> NodeSet {
         debug_assert_eq!(self.len, other.len);
         let mut out = NodeSet::new(self.len);
-        for (o, (a, b)) in out.words.iter_mut().zip(self.words.iter().zip(&other.words)) {
+        for (o, (a, b)) in out
+            .words
+            .iter_mut()
+            .zip(self.words.iter().zip(&other.words))
+        {
             *o = a & b;
         }
         out
@@ -81,10 +85,7 @@ impl NodeSet {
 
     /// Whether the two sets share at least one node.
     pub fn intersects(&self, other: &NodeSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 }
 
@@ -241,10 +242,7 @@ pub fn longest_paths_from(dfg: &Dfg, from: NodeId) -> Vec<Option<u32>> {
 /// (edge attribute 2 of the Attributes Generator, §IV-A).
 pub fn nodes_between_levels(asap_levels: &[u32], lo: u32, hi: u32) -> usize {
     let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
-    asap_levels
-        .iter()
-        .filter(|&&l| l > lo && l < hi)
-        .count()
+    asap_levels.iter().filter(|&&l| l > lo && l < hi).count()
 }
 
 /// Number of nodes sharing the given ASAP level.
@@ -346,7 +344,7 @@ mod tests {
         let j = 9;
         assert_eq!(anc[j].count(), 7);
         assert!(!anc[j].contains(NodeId::new(5))); // F
-        // B's descendants: D,E,F,G,H,I,J = 7.
+                                                   // B's descendants: D,E,F,G,H,I,J = 7.
         assert_eq!(desc[1].count(), 7);
         assert!(!desc[1].contains(NodeId::new(2))); // C not from B
     }

@@ -32,13 +32,7 @@ pub fn to_dot(dfg: &Dfg) -> String {
     let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
     for id in dfg.node_ids() {
         let n = dfg.node(id);
-        let _ = writeln!(
-            out,
-            "  {} [label=\"{}\\n{}\"];",
-            id,
-            escape(&n.name),
-            n.op
-        );
+        let _ = writeln!(out, "  {} [label=\"{}\\n{}\"];", id, escape(&n.name), n.op);
     }
     for eid in dfg.edge_ids() {
         let e = dfg.edge(eid);

@@ -286,12 +286,16 @@ impl Dfg {
 
     /// Successor nodes over all edge kinds (may repeat on multi-edges).
     pub fn successors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.succ[id.index()].iter().map(|e| self.edges[e.index()].dst)
+        self.succ[id.index()]
+            .iter()
+            .map(|e| self.edges[e.index()].dst)
     }
 
     /// Predecessor nodes over all edge kinds.
     pub fn predecessors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.pred[id.index()].iter().map(|e| self.edges[e.index()].src)
+        self.pred[id.index()]
+            .iter()
+            .map(|e| self.edges[e.index()].src)
     }
 
     /// Successor nodes reachable through intra-iteration data edges only.
@@ -382,10 +386,7 @@ impl Dfg {
                 indeg[edge.dst.index()] += 1;
             }
         }
-        let mut stack: Vec<NodeId> = (0..n)
-            .filter(|&i| indeg[i] == 0)
-            .map(NodeId::new)
-            .collect();
+        let mut stack: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).map(NodeId::new).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = stack.pop() {
             order.push(v);
@@ -430,10 +431,7 @@ impl Dfg {
     /// power-efficiency metric (MOPS/W, paper Fig. 10). Constants are
     /// configured, not executed, so they are excluded.
     pub fn op_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| n.op != OpKind::Const)
-            .count()
+        self.nodes.iter().filter(|n| n.op != OpKind::Const).count()
     }
 }
 
@@ -486,7 +484,9 @@ mod tests {
     #[test]
     fn unknown_node_rejected() {
         let mut g = diamond();
-        let err = g.add_data_edge(NodeId::new(0), NodeId::new(99)).unwrap_err();
+        let err = g
+            .add_data_edge(NodeId::new(0), NodeId::new(99))
+            .unwrap_err();
         assert!(matches!(err, DfgError::UnknownNode(_)));
     }
 

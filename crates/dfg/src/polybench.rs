@@ -482,11 +482,7 @@ mod tests {
                 "{} has no store",
                 g.name()
             );
-            assert!(
-                analysis::rec_mii(&g) >= 1,
-                "{} rec_mii broken",
-                g.name()
-            );
+            assert!(analysis::rec_mii(&g) >= 1, "{} rec_mii broken", g.name());
         }
     }
 

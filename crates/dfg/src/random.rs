@@ -7,8 +7,7 @@
 //! also set to a range. [...] Then according to the supported operations, we
 //! randomly assign operations to guarantee the validity of the DFGs."
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lisa_rng::Rng;
 
 use crate::{Dfg, NodeId, OpKind};
 
@@ -104,7 +103,7 @@ impl RandomDfgConfig {
 pub fn generate_random_dfg(config: &RandomDfgConfig, seed: u64) -> Dfg {
     assert!(config.min_nodes <= config.max_nodes, "node range inverted");
     assert!(config.min_nodes >= 3, "need at least 3 nodes");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = rng.gen_range(config.min_nodes..=config.max_nodes);
 
     // Phase 1: random DAG skeleton with degree caps. The first `sources`
@@ -144,7 +143,8 @@ pub fn generate_random_dfg(config: &RandomDfgConfig, seed: u64) -> Dfg {
             }
             let mut rewired = false;
             for &v in &sinks {
-                if let Some(u) = (v + 1..n).find(|&u| parents[u].len() < 2 && !parents[u].contains(&v))
+                if let Some(u) =
+                    (v + 1..n).find(|&u| parents[u].len() < 2 && !parents[u].contains(&v))
                 {
                     parents[u].push(v);
                     out_deg[v] += 1;
@@ -189,7 +189,7 @@ pub fn generate_random_dfg(config: &RandomDfgConfig, seed: u64) -> Dfg {
     }
 
     // Phase 3: optional accumulator recurrence on one eligible interior node.
-    if rng.gen_range(0..100) < u32::from(config.recurrence_percent) {
+    if rng.gen_range(0..100u32) < u32::from(config.recurrence_percent) {
         // Keep one operand slot free so the accumulator stays unrollable:
         // factor-2 unrolling turns the self-recurrence into a data edge
         // into the next copy, which must not overflow the op's arity.
@@ -233,19 +233,19 @@ fn stitch_components(g: &mut Dfg) {
             .node_ids()
             .find(|&v| comp[v.index()] == 0 && g.node(v).op.produces_value());
         let consumer = g.node_ids().find(|&v| {
-            comp[v.index()] == max_label
-                && g.data_in_degree(v) < g.node(v).op.max_inputs()
+            comp[v.index()] == max_label && g.data_in_degree(v) < g.node(v).op.max_inputs()
         });
         // Reverse-direction pairing if the forward one is unavailable.
         let reverse_producer = g
             .node_ids()
             .find(|&v| comp[v.index()] == max_label && g.node(v).op.produces_value());
-        let reverse_consumer = g.node_ids().find(|&v| {
-            comp[v.index()] == 0 && g.data_in_degree(v) < g.node(v).op.max_inputs()
-        });
+        let reverse_consumer = g
+            .node_ids()
+            .find(|&v| comp[v.index()] == 0 && g.data_in_degree(v) < g.node(v).op.max_inputs());
         match (producer, consumer, reverse_producer, reverse_consumer) {
             (Some(p), Some(c), _, _) | (_, _, Some(p), Some(c)) => {
-                g.add_data_edge(p, c).expect("cross-component edge is fresh");
+                g.add_data_edge(p, c)
+                    .expect("cross-component edge is fresh");
             }
             (producer, _, reverse_producer, _) => {
                 // No spare data arity anywhere: connect with a loop-carried
@@ -261,7 +261,10 @@ fn stitch_components(g: &mut Dfg) {
                 let dst = g
                     .node_ids()
                     .find(|&v| comp[v.index()] == dst_comp && g.node(v).op != OpKind::Const)
-                    .or_else(|| g.node_ids().find(|&v| comp[v.index()] == dst_comp && v != src))
+                    .or_else(|| {
+                        g.node_ids()
+                            .find(|&v| comp[v.index()] == dst_comp && v != src)
+                    })
                     .expect("target component is non-empty");
                 g.add_recurrence_edge(src, dst, 1)
                     .expect("cross-component recurrence is fresh");
@@ -379,7 +382,8 @@ mod tests {
         let set = generate_dataset(&cfg, 100, 10);
         assert_eq!(set.len(), 10);
         // Seeds are distinct, so names are distinct.
-        let names: std::collections::HashSet<_> = set.iter().map(|g| g.name().to_string()).collect();
+        let names: std::collections::HashSet<_> =
+            set.iter().map(|g| g.name().to_string()).collect();
         assert_eq!(names.len(), 10);
     }
 
@@ -413,16 +417,10 @@ mod shape_tests {
         };
         for seed in 0..40 {
             let g = generate_random_dfg(&cfg, seed);
-            let sources = g
-                .node_ids()
-                .filter(|&v| g.data_in_degree(v) == 0)
-                .count();
+            let sources = g.node_ids().filter(|&v| g.data_in_degree(v) == 0).count();
             // The connectivity stitcher may consume at most a couple of
             // sources; at least one always remains.
-            assert!(
-                (1..=4).contains(&sources),
-                "seed {seed}: {sources} sources"
-            );
+            assert!((1..=4).contains(&sources), "seed {seed}: {sources} sources");
         }
     }
 
@@ -432,10 +430,7 @@ mod shape_tests {
         let mut over = 0;
         for seed in 0..60 {
             let g = generate_random_dfg(&cfg, seed);
-            let sinks = g
-                .node_ids()
-                .filter(|&v| g.data_out_degree(v) == 0)
-                .count();
+            let sinks = g.node_ids().filter(|&v| g.data_out_degree(v) == 0).count();
             if sinks > 4 {
                 over += 1;
             }

@@ -84,9 +84,7 @@ pub fn dummy_edges(dfg: &Dfg) -> Vec<DummyEdge> {
 
     // Cache per-node BFS distances lazily: pairs are sparse relative to n^2
     // only in large graphs, but graphs here are small, so precompute all.
-    let up: Vec<Vec<Option<u32>>> = (0..n)
-        .map(|i| distances_up(dfg, NodeId::new(i)))
-        .collect();
+    let up: Vec<Vec<Option<u32>>> = (0..n).map(|i| distances_up(dfg, NodeId::new(i))).collect();
     let down: Vec<Vec<Option<u32>>> = (0..n)
         .map(|i| distances_down(dfg, NodeId::new(i)))
         .collect();
@@ -265,7 +263,7 @@ mod tests {
         assert_eq!(d.node.index(), 9); // J
         assert_eq!(d.dist_a, 2); // C -> G -> J
         assert_eq!(d.dist_b, 2); // E -> H -> J
-        // Intermediates on the paths: G (from C) and H (from E).
+                                 // Intermediates on the paths: G (from C) and H (from E).
         assert_eq!(d.on_path_count, 2);
     }
 

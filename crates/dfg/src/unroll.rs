@@ -150,10 +150,7 @@ mod tests {
         g.add_data_edge(a, s).unwrap();
         let u = unroll(&g, 3);
         assert_eq!(u.node_count(), 6);
-        assert!(u
-            .edges()
-            .iter()
-            .all(|e| e.kind == EdgeKind::Data));
+        assert!(u.edges().iter().all(|e| e.kind == EdgeKind::Data));
         u.validate().unwrap();
     }
 

@@ -36,10 +36,7 @@ impl NodeGraphSample {
         }
         let d = self.node_attrs.first().map_or(0, Vec::len);
         self.node_attrs.iter().all(|a| a.len() == d)
-            && self
-                .neighbors
-                .iter()
-                .all(|ns| ns.iter().all(|&u| u < n))
+            && self.neighbors.iter().all(|ns| ns.iter().all(|&u| u < n))
     }
 }
 

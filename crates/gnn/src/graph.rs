@@ -335,8 +335,7 @@ impl Graph {
                     let mut offset = 0;
                     for &p in parts {
                         let len = self.nodes[p.0].value.len();
-                        let slice =
-                            Tensor::vector(g.data()[offset..offset + len].to_vec());
+                        let slice = Tensor::vector(g.data()[offset..offset + len].to_vec());
                         grads[p.0].add_assign(&slice);
                         offset += len;
                     }

@@ -104,10 +104,7 @@ pub fn store_to_text(store: &ParamStore) -> String {
 ///
 /// Returns a [`ParseParamsError`] on malformed input or shape mismatch;
 /// the store is left unchanged on error.
-pub fn load_store_from_text(
-    store: &mut ParamStore,
-    text: &str,
-) -> Result<(), ParseParamsError> {
+pub fn load_store_from_text(store: &mut ParamStore, text: &str) -> Result<(), ParseParamsError> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or(ParseParamsError::UnexpectedEof)?;
     if header.trim() != "lisa-gnn-params v1" {

@@ -250,7 +250,7 @@ mod tests {
     #[test]
     fn learns_depth_roughly() {
         let samples = chain_samples(12);
-        let mut net = ScheduleOrderNet::new(3, 5);
+        let mut net = ScheduleOrderNet::new(3, 4);
         let cfg = TrainConfig {
             epochs: 250,
             lr: 3e-3,

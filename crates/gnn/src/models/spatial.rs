@@ -173,8 +173,7 @@ mod tests {
                 let b = f64::from((i % 3) as u32);
                 // Distance grows with attrs and neighbourhood crowding.
                 let crowd = f64::from((i % 5) as u32) + 1.0;
-                let neighbor_attrs =
-                    (0..(i % 5) + 1).map(|k| vec![a + k as f64, b]).collect();
+                let neighbor_attrs = (0..(i % 5) + 1).map(|k| vec![a + k as f64, b]).collect();
                 ContextEdgeSample {
                     attrs: vec![a, b],
                     neighbor_attrs,

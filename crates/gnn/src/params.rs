@@ -1,7 +1,6 @@
 //! Learnable parameter storage and the Adam optimiser.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lisa_rng::Rng;
 
 use crate::Tensor;
 
@@ -31,7 +30,7 @@ pub struct ParamStore {
     grads: Vec<Tensor>,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl ParamStore {
@@ -43,7 +42,7 @@ impl ParamStore {
             grads: Vec::new(),
             m: Vec::new(),
             v: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 

@@ -1,8 +1,6 @@
 //! Shared training configuration and loop helpers.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use lisa_rng::Rng;
 
 use crate::{Adam, Graph, ParamStore, VarId};
 
@@ -82,11 +80,11 @@ pub(crate) fn run_training(
     mut loss_fn: impl FnMut(&mut Graph, &ParamStore, usize) -> VarId,
 ) -> TrainReport {
     let mut adam = Adam::new(config.lr, config.weight_decay);
-    let mut rng = StdRng::seed_from_u64(config.shuffle_seed);
+    let mut rng = Rng::seed_from_u64(config.shuffle_seed);
     let mut order: Vec<usize> = (0..sample_count).collect();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     for _ in 0..config.epochs {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size.max(1)) {
             store.zero_grads();

@@ -83,8 +83,7 @@ impl DfgAttributes {
                 // (1) ASAP difference between child and parent.
                 let diff = f64::from(lv) - f64::from(lu);
                 // (2) nodes whose ASAP lies strictly between the endpoints.
-                let between =
-                    lisa_dfg::analysis::nodes_between_levels(&levels, lu, lv) as f64;
+                let between = lisa_dfg::analysis::nodes_between_levels(&levels, lu, lv) as f64;
                 // (3) nodes sharing the parent's or child's level (others).
                 let mut same = nodes_at_level(&levels, lu) - 1;
                 if lv != lu {
@@ -164,17 +163,11 @@ fn dummy_edge_attributes(d: &DummyEdge, levels: &[u32]) -> Vec<f64> {
     };
     // (3) nodes with ASAP above the ancestor's and below the pair's.
     let above_anc = anc_level.map_or(0, |al| {
-        levels
-            .iter()
-            .filter(|&&l| l > al && l < pair_level)
-            .count()
+        levels.iter().filter(|&&l| l > al && l < pair_level).count()
     });
     // (4) nodes with ASAP below the descendant's and above the pair's.
     let below_desc = desc_level.map_or(0, |dl| {
-        levels
-            .iter()
-            .filter(|&&l| l < dl && l > pair_level)
-            .count()
+        levels.iter().filter(|&&l| l < dl && l > pair_level).count()
     });
     // (5) nodes sharing the ancestor's, descendant's, or pair's level.
     let mut key_levels: Vec<u32> = vec![pair_level];
@@ -182,10 +175,7 @@ fn dummy_edge_attributes(d: &DummyEdge, levels: &[u32]) -> Vec<f64> {
     key_levels.extend(desc_level);
     key_levels.sort_unstable();
     key_levels.dedup();
-    let peers: usize = key_levels
-        .iter()
-        .map(|&l| nodes_at_level(levels, l))
-        .sum();
+    let peers: usize = key_levels.iter().map(|&l| nodes_at_level(levels, l)).sum();
     vec![
         anc_dist,
         desc_dist,

@@ -140,10 +140,7 @@ mod tests {
     use lisa_arch::{Accelerator, PeId};
     use lisa_dfg::{Dfg, NodeId, OpKind};
 
-    fn mapped_diamond<'a>(
-        dfg: &'a Dfg,
-        acc: &'a Accelerator,
-    ) -> Mapping<'a> {
+    fn mapped_diamond<'a>(dfg: &'a Dfg, acc: &'a Accelerator) -> Mapping<'a> {
         let mut m = Mapping::new(dfg, acc, 3).unwrap();
         m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
         m.place(NodeId::new(1), PeId::new(1), 1).unwrap();

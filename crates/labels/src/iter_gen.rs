@@ -149,8 +149,7 @@ pub fn generate_labels(
 /// The paper's two selection rounds: keep minimum-II candidates, then those
 /// whose routing cost is within [`ROUTING_COST_SLACK`] of the best.
 fn select_candidates(candidates: &[LabelCandidate], best_ii: u32) -> Vec<&LabelCandidate> {
-    let min_ii: Vec<&LabelCandidate> =
-        candidates.iter().filter(|c| c.ii == best_ii).collect();
+    let min_ii: Vec<&LabelCandidate> = candidates.iter().filter(|c| c.ii == best_ii).collect();
     let standard = min_ii
         .iter()
         .map(|c| c.routing_cost)
@@ -171,8 +170,8 @@ mod tests {
     fn generates_labels_for_small_kernel() {
         let dfg = polybench::kernel("doitgen").unwrap();
         let acc = Accelerator::cgra("4x4", 4, 4);
-        let gen = generate_labels(&dfg, &acc, &IterGenConfig::fast())
-            .expect("doitgen maps on a 4x4");
+        let gen =
+            generate_labels(&dfg, &acc, &IterGenConfig::fast()).expect("doitgen maps on a 4x4");
         assert!(gen.labels.matches(&dfg));
         assert!(gen.best_ii >= gen.mii);
         assert!(gen.candidate_count >= 1);

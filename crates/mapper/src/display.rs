@@ -43,8 +43,7 @@ pub fn render(mapping: &Mapping<'_>) -> String {
     let width = cell_width(mapping);
 
     // Cell contents per (slot, pe): op takes precedence, then route kinds.
-    let mut cells: Vec<Vec<String>> =
-        vec![vec![".".to_string(); acc.pe_count()]; ii as usize];
+    let mut cells: Vec<Vec<String>> = vec![vec![".".to_string(); acc.pe_count()]; ii as usize];
     let mut regs: Vec<Vec<usize>> = vec![vec![0; acc.pe_count()]; ii as usize];
 
     for route in dfg.edge_ids() {

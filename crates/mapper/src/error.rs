@@ -3,8 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
-use lisa_dfg::{EdgeId, NodeId};
 use lisa_arch::PeId;
+use lisa_dfg::{EdgeId, NodeId};
 
 /// Errors produced by placement and routing operations on a
 /// [`crate::Mapping`].

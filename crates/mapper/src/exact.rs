@@ -115,11 +115,7 @@ impl Search<'_, '_> {
         candidates.sort_by_key(|&(pe, t)| (t, pe.index()));
         for (pe, t) in candidates {
             self.states_left = self.states_left.saturating_sub(1);
-            if self
-                .mapping
-                .place(node, pe, t)
-                .is_err()
-            {
+            if self.mapping.place(node, pe, t).is_err() {
                 continue;
             }
             let mut routed: Vec<EdgeId> = Vec::new();

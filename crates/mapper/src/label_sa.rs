@@ -16,8 +16,7 @@
 //!    routing (line 9): edges that need many routing resources are routed
 //!    while resources are still plentiful.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lisa_rng::Rng;
 
 use lisa_arch::{Accelerator, PeId};
 use lisa_dfg::{analysis, same_level, Dfg, EdgeId, NodeId};
@@ -229,7 +228,7 @@ impl SaPolicy for LabelPolicy<'_> {
         node: NodeId,
         candidates: &[(PeId, u32)],
         stats: MoveStats,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> usize {
         if !self.label_guided() {
             // After the initial mapping, InitialOnly degrades to vanilla;
@@ -243,8 +242,8 @@ impl SaPolicy for LabelPolicy<'_> {
             .collect();
         order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
         // σ = max{1, α·T − Acc}: low acceptance widens the distribution.
-        let sigma = (self.config.alpha * f64::from(stats.attempted) - f64::from(stats.accepted))
-            .max(1.0);
+        let sigma =
+            (self.config.alpha * f64::from(stats.attempted) - f64::from(stats.accepted)).max(1.0);
         let draw = sample_normal(rng).abs() * sigma;
         let idx = (draw.floor() as usize).min(order.len() - 1);
         order[idx].1
@@ -281,7 +280,7 @@ impl SaPolicy for LabelPolicy<'_> {
 }
 
 /// Standard-normal sample via Box–Muller.
-fn sample_normal(rng: &mut StdRng) -> f64 {
+fn sample_normal(rng: &mut Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -390,7 +389,7 @@ impl IiMapper for LabelSaMapper {
             self.labels.matches(dfg),
             "labels do not match the DFG shape"
         );
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (u64::from(ii) << 32));
+        let mut rng = Rng::seed_from_u64(self.seed ^ (u64::from(ii) << 32));
         let policy = LabelPolicy::new(&self.labels, self.config, dfg);
         anneal(&policy, &self.params, dfg, acc, ii, &mut rng)
     }
@@ -502,7 +501,7 @@ mod tests {
 
     #[test]
     fn normal_sampler_is_roughly_standard() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;

@@ -41,7 +41,11 @@ enum Cell {
     Op(NodeId),
     /// Route traffic: the value produced by `value` passes at absolute
     /// `time`; `refs` edges share the step (net-based fanout reuse).
-    Route { value: NodeId, time: u32, refs: u16 },
+    Route {
+        value: NodeId,
+        time: u32,
+        refs: u16,
+    },
 }
 
 /// A (possibly partial) mapping of a DFG onto an accelerator at a fixed II.
@@ -292,7 +296,9 @@ impl<'a> Mapping<'a> {
         match self.cells[self.mrrg.index_at(resource, time)] {
             Cell::Free => Some(1),
             Cell::Op(_) => None,
-            Cell::Route { value: v, time: t, .. } => (v == value && t == time).then_some(0),
+            Cell::Route {
+                value: v, time: t, ..
+            } => (v == value && t == time).then_some(0),
         }
     }
 
@@ -439,7 +445,11 @@ impl<'a> Mapping<'a> {
             for s in steps {
                 t += 1;
                 if s.time != t {
-                    return Err(format!("edge {} step at time {} != {t}", eid.index(), s.time));
+                    return Err(format!(
+                        "edge {} step at time {} != {t}",
+                        eid.index(),
+                        s.time
+                    ));
                 }
                 if !self.mrrg.moves_from(prev).contains(&s.resource) {
                     return Err(format!("edge {} illegal move", eid.index()));
@@ -571,8 +581,8 @@ mod tests {
         m.place(c, PeId::new(3), 4).unwrap();
         let n1 = m.route_edge(e1).unwrap();
         assert_eq!(n1, 1); // through FU(1) at t1
-        // Second consumer is further out; b occupies FU(2)@2, so the route
-        // detours (e.g. hold in a register) and shares the FU(1)@1 prefix.
+                           // Second consumer is further out; b occupies FU(2)@2, so the route
+                           // detours (e.g. hold in a register) and shares the FU(1)@1 prefix.
         let n2 = m.route_edge(e2).unwrap();
         assert!(n2 >= 1);
         m.verify().unwrap();
@@ -616,8 +626,8 @@ mod tests {
     #[test]
     fn memory_constraint_enforced() {
         let dfg = chain3();
-        let acc = Accelerator::cgra("2x2", 2, 2)
-            .with_memory(lisa_arch::MemoryConnectivity::LeftColumn);
+        let acc =
+            Accelerator::cgra("2x2", 2, 2).with_memory(lisa_arch::MemoryConnectivity::LeftColumn);
         let mut m = Mapping::new(&dfg, &acc, 2).unwrap();
         // Node 0 is a load; PE 1 is column 1.
         let err = m.place(NodeId::new(0), PeId::new(1), 0).unwrap_err();
@@ -781,8 +791,8 @@ mod utilization_tests {
         let u = m.utilization();
         assert_eq!(u.busy_fu_slots[0], 1); // the load
         assert_eq!(u.busy_fu_slots[2], 1); // the store
-        // The route passes PE1 (FU) or uses a register; either way some
-        // middle resource is busy.
+                                           // The route passes PE1 (FU) or uses a register; either way some
+                                           // middle resource is busy.
         assert!(u.busy_fu_slots[1] + u.busy_reg_slots.iter().sum::<usize>() >= 1);
         assert!(u.mean_fu_occupancy() > 0.0);
         assert!(u.peak_fu_occupancy() <= 1.0);

@@ -42,7 +42,9 @@ pub fn find_route(
     let hops = dst_time - src_time;
     if hops == 1 {
         // Direct consumption: producer FU must be adjacent to consumer.
-        return mrrg.can_consume(Resource::Fu(src_pe), dst_pe).then(Vec::new);
+        return mrrg
+            .can_consume(Resource::Fu(src_pe), dst_pe)
+            .then(Vec::new);
     }
     let layers = (hops - 1) as usize; // intermediate steps
 
@@ -222,9 +224,8 @@ mod tests {
         let acc = Accelerator::cgra("1x3", 1, 3).with_regs_per_pe(0);
         let mrrg = Mrrg::new(&acc, 4).unwrap();
         // 0 -> 2 in 2 cycles must pass FU(1)@1; block it.
-        let blocked = |r: Resource, t: u32| {
-            (!(r == Resource::Fu(PeId::new(1)) && t == 1)).then_some(1)
-        };
+        let blocked =
+            |r: Resource, t: u32| (!(r == Resource::Fu(PeId::new(1)) && t == 1)).then_some(1);
         let route = find_route(
             &mrrg,
             NodeId::new(0),

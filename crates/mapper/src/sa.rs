@@ -11,8 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lisa_rng::Rng;
 
 use lisa_arch::{Accelerator, PeId};
 use lisa_dfg::{Dfg, EdgeId, NodeId};
@@ -102,7 +101,7 @@ pub trait SaPolicy {
         node: NodeId,
         candidates: &[(PeId, u32)],
         stats: MoveStats,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> usize;
 
     /// Orders unrouted edges for routing (Algorithm 1 line 9).
@@ -126,7 +125,7 @@ impl SaPolicy for VanillaPolicy {
         _node: NodeId,
         candidates: &[(PeId, u32)],
         _stats: MoveStats,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> usize {
         rng.gen_range(0..candidates.len())
     }
@@ -211,7 +210,7 @@ pub(crate) fn anneal<'a, P: SaPolicy>(
     dfg: &'a Dfg,
     acc: &'a Accelerator,
     ii: u32,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Option<Mapping<'a>> {
     let start = Instant::now();
     let mut mapping = Mapping::new(dfg, acc, ii).ok()?;
@@ -239,8 +238,8 @@ pub(crate) fn anneal<'a, P: SaPolicy>(
             if mapping.is_complete() {
                 return Some(mapping);
             }
-            let accept = new_cost <= cost
-                || rng.gen_bool(((cost - new_cost) / temp).exp().clamp(0.0, 1.0));
+            let accept =
+                new_cost <= cost || rng.gen_bool(((cost - new_cost) / temp).exp().clamp(0.0, 1.0));
             if accept {
                 // The deviation schedule counts only strict improvements:
                 // plateau moves must not mask a stuck search, or sigma
@@ -288,7 +287,7 @@ fn movement<P: SaPolicy>(
     mapping: &mut Mapping<'_>,
     params: &SaParams,
     stats: MoveStats,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) {
     let dfg = mapping.dfg();
     // Problematic nodes: endpoints of unrouted edges, plus unplaced nodes.
@@ -328,7 +327,7 @@ fn place_nodes<P: SaPolicy>(
     mapping: &mut Mapping<'_>,
     mut nodes: Vec<NodeId>,
     stats: MoveStats,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) {
     policy.order_nodes(mapping.dfg(), &mut nodes);
     for node in nodes {
@@ -414,7 +413,7 @@ impl IiMapper for SaMapper {
         acc: &'a Accelerator,
         ii: u32,
     ) -> Option<Mapping<'a>> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (u64::from(ii) << 32));
+        let mut rng = Rng::seed_from_u64(self.seed ^ (u64::from(ii) << 32));
         anneal(&VanillaPolicy, &self.params, dfg, acc, ii, &mut rng)
     }
 }
@@ -458,7 +457,20 @@ mod tests {
                 )
             })
             .collect();
-        for (s, d) in [(0, 2), (1, 3), (1, 4), (1, 5), (2, 6), (3, 6), (3, 7), (4, 7), (1, 8), (4, 8), (6, 9), (7, 9)] {
+        for (s, d) in [
+            (0, 2),
+            (1, 3),
+            (1, 4),
+            (1, 5),
+            (2, 6),
+            (3, 6),
+            (3, 7),
+            (4, 7),
+            (1, 8),
+            (4, 8),
+            (6, 9),
+            (7, 9),
+        ] {
             g.add_data_edge(ids[s], ids[d]).unwrap();
         }
         let acc = Accelerator::cgra("3x3", 3, 3);

@@ -19,7 +19,9 @@ use crate::Mapping;
 /// `ceil(nodes / PEs)` (the paper's "theoretical lowest execution time",
 /// §V-C).
 pub fn res_mii(dfg: &Dfg, acc: &Accelerator) -> u32 {
-    (dfg.node_count() as u32).div_ceil(acc.pe_count() as u32).max(1)
+    (dfg.node_count() as u32)
+        .div_ceil(acc.pe_count() as u32)
+        .max(1)
 }
 
 /// Minimum II: the larger of the resource and recurrence bounds.
@@ -35,12 +37,8 @@ pub trait IiMapper {
 
     /// Attempts to produce a complete mapping at exactly `ii`. Returns
     /// `None` on failure (resources exhausted, time budget hit, ...).
-    fn map_at_ii<'a>(
-        &mut self,
-        dfg: &'a Dfg,
-        acc: &'a Accelerator,
-        ii: u32,
-    ) -> Option<Mapping<'a>>;
+    fn map_at_ii<'a>(&mut self, dfg: &'a Dfg, acc: &'a Accelerator, ii: u32)
+        -> Option<Mapping<'a>>;
 }
 
 /// Result of an II search: the metrics every figure of §VI consumes.

@@ -1,0 +1,377 @@
+//! Vendored deterministic random-number generation for the whole
+//! workspace.
+//!
+//! The build environment is hermetic: no registry crates are available, so
+//! this crate replaces `rand` with a small, well-known generator pair —
+//! [SplitMix64] expands a `u64` seed into the state of a [xoshiro256\*\*]
+//! generator, which produces the stream. Both algorithms are public-domain
+//! reference designs by Blackman and Vigna with published test vectors
+//! (checked in `tests`), so the stream is stable across platforms and
+//! toolchain upgrades — a hard requirement for the paper's seeded SA
+//! mapping and GNN training runs to stay reproducible.
+//!
+//! The API mirrors the subset of `rand` the workspace used (`seed_from_u64`,
+//! `gen_range`, `gen`, `gen_bool`, `shuffle`), so call sites migrate by
+//! swapping `rand::rngs::StdRng` for [`Rng`].
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//! [xoshiro256\*\*]: https://prng.di.unimi.it/xoshiro256starstar.c
+
+pub mod prop;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable xoshiro256\*\* generator. The only RNG in the workspace.
+///
+/// # Example
+///
+/// ```
+/// use lisa_rng::Rng;
+///
+/// let mut rng = Rng::seed_from_u64(42);
+/// let die = rng.gen_range(1..=6u32);
+/// assert!((1..=6).contains(&die));
+/// let p: f64 = rng.gen();
+/// assert!((0.0..1.0).contains(&p));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose 256-bit state is expanded from `seed` by
+    /// SplitMix64, per the xoshiro authors' seeding recommendation.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 raw bits of the stream (xoshiro256\*\* step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, span)`, unbiased (Lemire multiply-shift with
+    /// rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span == 0`.
+    fn uniform_u64(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "empty range");
+        let mut m = u128::from(self.next_u64()) * u128::from(span);
+        let mut lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            while lo < threshold {
+                m = u128::from(self.next_u64()) * u128::from(span);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform sample from a range, mirroring `rand`'s `gen_range`.
+    /// Supports `a..b` and `a..=b` over the workspace's integer types and
+    /// `a..b` over `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform sample of a whole type, mirroring `rand`'s `gen::<T>()`.
+    /// `f64` draws from `[0, 1)` with 53 bits of precision.
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// In-place Fisher–Yates shuffle, mirroring `SliceRandom::shuffle`.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.uniform_u64(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Sample {
+    /// Draws one uniform value.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut Rng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// `[0, 1)` from the top 53 bits, the standard double-precision recipe.
+    fn sample(rng: &mut Rng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),+) => {
+        $(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample(self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.uniform_u64(span) as $t)
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample(self, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every u64 is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.uniform_u64(span) as $t)
+                }
+            }
+        )+
+    };
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + rng.gen::<f64>() * (self.end - self.start);
+        // Rounding can land exactly on the excluded upper bound; fold that
+        // measure-zero case back to the start like `rand` does.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference stream of splitmix64.c for seed 1234567: the seeding path
+    /// must match the published algorithm bit-for-bit.
+    #[test]
+    fn splitmix_seeding_matches_reference() {
+        // State expanded from seed 0 — first four splitmix64(0) outputs.
+        let rng = Rng::seed_from_u64(0);
+        assert_eq!(
+            rng.s,
+            [
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F,
+                0xF88B_B8A8_724C_81EC,
+            ]
+        );
+    }
+
+    /// xoshiro256** stepped by hand from a known state: first outputs of
+    /// the reference implementation with state {1, 2, 3, 4}.
+    #[test]
+    fn xoshiro_stream_matches_reference() {
+        let mut rng = Rng { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] = [
+            11520,
+            0,
+            1509978240,
+            1215971899390074240,
+            1216172134540287360,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    /// End-to-end golden values: the full seed → SplitMix64 → xoshiro
+    /// pipeline for two seeds. Any change to these streams silently
+    /// invalidates every recorded experiment, so they are pinned.
+    #[test]
+    fn seeded_stream_golden_values() {
+        let mut rng = Rng::seed_from_u64(0);
+        assert_eq!(
+            [rng.next_u64(), rng.next_u64(), rng.next_u64()],
+            [
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+            ]
+        );
+        let mut rng = Rng::seed_from_u64(2022);
+        let first = rng.next_u64();
+        let mut again = Rng::seed_from_u64(2022);
+        assert_eq!(first, again.next_u64());
+        assert_ne!(first, 11091344671253066420, "seeds must not collide");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(99);
+        let mut b = Rng::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5..=5u32);
+            assert_eq!(w, 5);
+            let x = rng.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&x));
+            let y = rng.gen_range(10..=12u64);
+            assert!((10..=12).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        // Each bucket expects n/10 = 10_000; 4σ ≈ 380.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (9_500..=10_500).contains(&c),
+                "bucket {i} count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        let mut rng = Rng::seed_from_u64(3);
+        // Must not panic or hang (span overflows to 0).
+        for _ in 0..100 {
+            let _ = rng.gen_range(0..=u64::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_half_open_unit() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut sum = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.7)).count();
+        assert!((68_000..72_000).contains(&hits), "{hits} hits");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(17);
+        for round in 0..50 {
+            let mut v: Vec<usize> = (0..31).collect();
+            rng.shuffle(&mut v);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..31).collect::<Vec<_>>(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_seeded_and_nontrivial() {
+        let mut a = Rng::seed_from_u64(23);
+        let mut b = Rng::seed_from_u64(23);
+        let mut va: Vec<usize> = (0..64).collect();
+        let mut vb = va.clone();
+        let identity = va.clone();
+        a.shuffle(&mut va);
+        b.shuffle(&mut vb);
+        assert_eq!(va, vb);
+        assert_ne!(va, identity);
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_slices() {
+        let mut rng = Rng::seed_from_u64(29);
+        let mut empty: [u8; 0] = [];
+        rng.shuffle(&mut empty);
+        let mut one = [42];
+        rng.shuffle(&mut one);
+        assert_eq!(one, [42]);
+    }
+}

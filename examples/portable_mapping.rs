@@ -16,11 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let kernels = ["gemm", "mvt", "doitgen"];
 
-    println!("{:<10} {:>8} {:>8} {:>8}", "kernel", "4x4", "4x4-lr", "4x4-lm");
-    let mut rows: Vec<Vec<String>> = kernels
-        .iter()
-        .map(|k| vec![(*k).to_string()])
-        .collect();
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}",
+        "kernel", "4x4", "4x4-lr", "4x4-lm"
+    );
+    let mut rows: Vec<Vec<String>> = kernels.iter().map(|k| vec![(*k).to_string()]).collect();
 
     for acc in &architectures {
         // One retraining per accelerator — this is all the "porting" LISA
@@ -38,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     for row in rows {
-        println!(
-            "{:<10} {:>8} {:>8} {:>8}",
-            row[0], row[1], row[2], row[3]
-        );
+        println!("{:<10} {:>8} {:>8} {:>8}", row[0], row[1], row[2], row[3]);
     }
     println!("\nEach column used the same framework — only the training data");
     println!("(synthetic DFGs mapped on that architecture) differed.");

@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             dfg.name(),
             dfg.node_count(),
             sa_outcome.ii.map_or("fail".to_string(), |v| v.to_string()),
-            lisa_outcome.ii.map_or("fail".to_string(), |v| v.to_string()),
+            lisa_outcome
+                .ii
+                .map_or("fail".to_string(), |v| v.to_string()),
             winner
         );
     }

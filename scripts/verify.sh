@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 verification (see ROADMAP.md). Must pass from a clean checkout
+# with no network access: the workspace is hermetic — every dependency is
+# a workspace-path crate, so `--offline` is always safe.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo build --release --offline
+cargo test -q --offline
+
+echo "verify: OK"

@@ -108,7 +108,11 @@ fn build_dfg(spec: &str, factor: u32) -> Result<Dfg, String> {
     } else {
         polybench::kernel(spec).map_err(|e| e.to_string())?
     };
-    Ok(if factor > 1 { unroll(&base, factor) } else { base })
+    Ok(if factor > 1 {
+        unroll(&base, factor)
+    } else {
+        base
+    })
 }
 
 fn main() {

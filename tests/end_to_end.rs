@@ -60,7 +60,10 @@ fn systolic_pipeline_end_to_end() {
     // At least the simplest core must map on the systolic array.
     let dfg = polybench::kernel_core("doitgen").unwrap();
     let (outcome, mapping) = lisa.map(&dfg, &acc);
-    assert!(outcome.mapped(), "doitgen-core must map on the systolic array");
+    assert!(
+        outcome.mapped(),
+        "doitgen-core must map on the systolic array"
+    );
     assert_eq!(outcome.ii, Some(1), "systolic arrays are spatial-only");
     mapping.unwrap().verify().unwrap();
 }

@@ -50,9 +50,9 @@ fn exact_ii_is_a_lower_bound_for_heuristics() {
     for dfg in tiny_graphs() {
         let mut ilp = ExactMapper::new(ExactParams::default());
         let exact = IiSearch { max_ii: Some(12) }.run(&mut ilp, &dfg, &acc);
-        let exact_ii = exact.ii.unwrap_or_else(|| {
-            panic!("exact mapper must solve the tiny graph {}", dfg.name())
-        });
+        let exact_ii = exact
+            .ii
+            .unwrap_or_else(|| panic!("exact mapper must solve the tiny graph {}", dfg.name()));
 
         let mut sa = SaMapper::new(SaParams::paper(), 3);
         let sa_outcome = IiSearch { max_ii: Some(12) }.run(&mut sa, &dfg, &acc);
@@ -87,10 +87,7 @@ fn outcome_metrics_agree_with_mapping_state() {
         let activity = m.activity();
         assert_eq!(outcome.activity, activity);
         assert_eq!(activity.compute_slots, dfg.node_count());
-        assert_eq!(
-            activity.route_slots + activity.reg_slots,
-            m.routing_cells()
-        );
+        assert_eq!(activity.route_slots + activity.reg_slots, m.routing_cells());
     }
 }
 
@@ -118,12 +115,11 @@ fn search_starts_at_mii() {
 
 #[test]
 fn memory_constrained_cgra_keeps_loads_on_left_column() {
-    let acc = Accelerator::cgra("4x4-lm", 4, 4)
-        .with_memory(lisa::arch::MemoryConnectivity::LeftColumn);
+    let acc =
+        Accelerator::cgra("4x4-lm", 4, 4).with_memory(lisa::arch::MemoryConnectivity::LeftColumn);
     let dfg = lisa::dfg::polybench::kernel("doitgen").unwrap();
     let mut sa = SaMapper::new(SaParams::paper(), 4);
-    let (outcome, mapping) =
-        IiSearch { max_ii: Some(12) }.run_with_mapping(&mut sa, &dfg, &acc);
+    let (outcome, mapping) = IiSearch { max_ii: Some(12) }.run_with_mapping(&mut sa, &dfg, &acc);
     assert!(outcome.mapped(), "doitgen maps on the left-column CGRA");
     let m = mapping.unwrap();
     m.verify().unwrap();
@@ -164,12 +160,10 @@ fn systolic_maps_only_supported_shapes() {
 #[test]
 fn heterogeneous_cgra_places_muls_on_capable_pes() {
     use lisa::arch::Heterogeneity;
-    let acc = Accelerator::cgra("4x4-het", 4, 4)
-        .with_heterogeneity(Heterogeneity::CheckerboardMul);
+    let acc = Accelerator::cgra("4x4-het", 4, 4).with_heterogeneity(Heterogeneity::CheckerboardMul);
     let dfg = lisa::dfg::polybench::kernel("gemm").unwrap();
     let mut sa = SaMapper::new(SaParams::paper(), 8);
-    let (outcome, mapping) =
-        IiSearch { max_ii: Some(12) }.run_with_mapping(&mut sa, &dfg, &acc);
+    let (outcome, mapping) = IiSearch { max_ii: Some(12) }.run_with_mapping(&mut sa, &dfg, &acc);
     assert!(outcome.mapped(), "gemm maps on the heterogeneous 4x4");
     let m = mapping.unwrap();
     m.verify().unwrap();
@@ -186,8 +180,7 @@ fn heterogeneous_cgra_places_muls_on_capable_pes() {
 fn multihop_interconnect_reduces_or_preserves_ii() {
     use lisa::arch::Interconnect;
     let mesh = Accelerator::cgra("m", 4, 4);
-    let hop = Accelerator::cgra("h", 4, 4)
-        .with_interconnect(Interconnect::MultiHop { radius: 2 });
+    let hop = Accelerator::cgra("h", 4, 4).with_interconnect(Interconnect::MultiHop { radius: 2 });
     let dfg = lisa::dfg::polybench::kernel("syr2k").unwrap();
     let run = |acc: &Accelerator| {
         let mut sa = SaMapper::new(SaParams::paper(), 3);
