@@ -93,6 +93,10 @@ pub struct Accelerator {
     max_ii: u32,
     kind: AcceleratorKind,
     neighbors: Vec<Vec<PeId>>,
+    /// Row-major `from × to` minimum link-hop distances (BFS over the
+    /// directed link graph), `u16::MAX` when unreachable. Derived from
+    /// `neighbors`; rebuilt whenever the interconnect changes.
+    hop_dist: Vec<u16>,
 }
 
 impl Accelerator {
@@ -115,6 +119,7 @@ impl Accelerator {
             heterogeneity: Heterogeneity::Homogeneous,
         };
         let neighbors = mesh_neighbors(rows, cols);
+        let hop_dist = hop_distances(&neighbors);
         Accelerator {
             name: name.into(),
             rows,
@@ -123,6 +128,7 @@ impl Accelerator {
             max_ii: Self::DEFAULT_MAX_II,
             kind,
             neighbors,
+            hop_dist,
         }
     }
 
@@ -139,6 +145,7 @@ impl Accelerator {
             "systolic array needs load, compute, store columns"
         );
         let neighbors = systolic_neighbors(rows, cols);
+        let hop_dist = hop_distances(&neighbors);
         Accelerator {
             name: name.into(),
             rows,
@@ -147,6 +154,7 @@ impl Accelerator {
             max_ii: 1,
             kind: AcceleratorKind::Systolic,
             neighbors,
+            hop_dist,
         }
     }
 
@@ -217,6 +225,7 @@ impl Accelerator {
             }
             Interconnect::MultiHop { radius } => multihop_neighbors(self.rows, self.cols, radius),
         };
+        self.hop_dist = hop_distances(&self.neighbors);
         self
     }
 
@@ -300,6 +309,18 @@ impl Accelerator {
         self.coord(a).manhattan(self.coord(b))
     }
 
+    /// Minimum number of link hops from `from` to `to` over the directed
+    /// link graph, or `u32::MAX` when unreachable (e.g. leftward on a
+    /// systolic array). Precomputed at construction; the router relies on
+    /// this being a true lower bound on any route's hop count to prune
+    /// its search cone.
+    pub fn hop_distance(&self, from: PeId, to: PeId) -> u32 {
+        match self.hop_dist[from.index() * self.pe_count() + to.index()] {
+            u16::MAX => u32::MAX,
+            d => u32::from(d),
+        }
+    }
+
     /// Whether the PE can execute the operation.
     ///
     /// * CGRA: every PE executes every ALU op; memory ops additionally
@@ -370,6 +391,31 @@ impl fmt::Display for Accelerator {
             self.name, self.rows, self.cols, self.kind, self.regs_per_pe, self.max_ii
         )
     }
+}
+
+/// All-pairs minimum hop distances over the directed link graph: one BFS
+/// per source PE. Grids are small (≤ 64 PEs in the paper suite), so the
+/// O(V·(V+E)) cost is negligible against construction.
+fn hop_distances(neighbors: &[Vec<PeId>]) -> Vec<u16> {
+    let n = neighbors.len();
+    let mut out = vec![u16::MAX; n * n];
+    let mut queue = std::collections::VecDeque::new();
+    for src in 0..n {
+        let row = &mut out[src * n..(src + 1) * n];
+        row[src] = 0;
+        queue.clear();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let d = row[u];
+            for &v in &neighbors[u] {
+                if row[v.index()] == u16::MAX {
+                    row[v.index()] = d + 1;
+                    queue.push_back(v.index());
+                }
+            }
+        }
+    }
+    out
 }
 
 fn mesh_neighbors(rows: usize, cols: usize) -> Vec<Vec<PeId>> {
@@ -474,6 +520,34 @@ mod tests {
         let a = Accelerator::cgra("4x4", 4, 4);
         assert_eq!(a.spatial_distance(PeId::new(0), PeId::new(15)), 6);
         assert_eq!(a.spatial_distance(PeId::new(5), PeId::new(6)), 1);
+    }
+
+    #[test]
+    fn mesh_hop_distance_is_manhattan() {
+        let a = Accelerator::cgra("4x4", 4, 4);
+        for i in 0..16 {
+            for j in 0..16 {
+                let (i, j) = (PeId::new(i), PeId::new(j));
+                assert_eq!(a.hop_distance(i, j), a.spatial_distance(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn systolic_hop_distance_blocks_leftward() {
+        let s = Accelerator::systolic("sys", 3, 3);
+        let left = s.pe_at(Coord { row: 1, col: 0 });
+        let right = s.pe_at(Coord { row: 1, col: 2 });
+        assert_eq!(s.hop_distance(left, right), 2);
+        assert_eq!(s.hop_distance(right, left), u32::MAX);
+    }
+
+    #[test]
+    fn multihop_shrinks_hop_distance() {
+        let a =
+            Accelerator::cgra("hy", 4, 4).with_interconnect(Interconnect::MultiHop { radius: 2 });
+        // Opposite corners: Manhattan 6, but radius-2 links cover it in 3.
+        assert_eq!(a.hop_distance(PeId::new(0), PeId::new(15)), 3);
     }
 
     #[test]

@@ -64,6 +64,11 @@ impl Resource {
 pub struct Mrrg<'a> {
     acc: &'a Accelerator,
     ii: u32,
+    /// `⌊2³²/ii⌋ + 1`: turns the `t mod ii` in every occupancy-index
+    /// computation into a multiply-shift (exact for `t < 2¹⁶`, see
+    /// [`slot`](Self::slot)) — `index_at` runs once per router expansion
+    /// and per placement probe, where a hardware divide dominates.
+    slot_magic: u64,
 }
 
 impl<'a> Mrrg<'a> {
@@ -83,7 +88,11 @@ impl<'a> Mrrg<'a> {
                 max_ii: acc.max_ii(),
             });
         }
-        Ok(Mrrg { acc, ii })
+        Ok(Mrrg {
+            acc,
+            ii,
+            slot_magic: (1u64 << 32) / u64::from(ii) + 1,
+        })
     }
 
     /// The accelerator this MRRG was built for.
@@ -98,7 +107,19 @@ impl<'a> Mrrg<'a> {
 
     /// The modulo slot of an absolute cycle.
     pub fn slot(&self, t: u32) -> u32 {
-        t % self.ii
+        if t < (1 << 16) {
+            // Granlund–Montgomery round-up division: with
+            // magic = ⌊2³²/ii⌋ + 1 = (2³² + e)/ii for some e ≤ ii, the
+            // quotient ⌊t·magic/2³²⌋ equals ⌊t/ii⌋ whenever t·e < 2³²,
+            // which holds for all t < 2¹⁶ (ii ≤ 2¹⁶). Schedule times are
+            // tiny, so this replaces a hardware divide on the hot path.
+            let q = (u64::from(t) * self.slot_magic) >> 32;
+            let s = t - (q as u32) * self.ii;
+            debug_assert_eq!(s, t % self.ii);
+            s
+        } else {
+            t % self.ii
+        }
     }
 
     /// Resources per modulo slot: one FU plus the register file per PE.
@@ -139,6 +160,16 @@ impl<'a> Mrrg<'a> {
     ///   neighbour's FU (registers drive the output links).
     pub fn moves_from(&self, r: Resource) -> Vec<Resource> {
         let mut out = Vec::new();
+        self.moves_from_into(r, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`moves_from`](Self::moves_from):
+    /// clears `out` and fills it with the successor resources in the same
+    /// order. The router calls this once per Dijkstra expansion, so hot
+    /// paths reuse one buffer instead of allocating per expansion.
+    pub fn moves_from_into(&self, r: Resource, out: &mut Vec<Resource>) {
+        out.clear();
         match r {
             Resource::Fu(p) => {
                 for &q in self.acc.neighbors(p) {
@@ -157,7 +188,6 @@ impl<'a> Mrrg<'a> {
                 }
             }
         }
-        out
     }
 
     /// Whether a value held at `r` in cycle `t` can be consumed as an

@@ -1,18 +1,83 @@
 //! Benches for the three mappers — the kernel behind the compilation-time
-//! comparison of Fig. 11. Mapper runs take seconds, so they register as
-//! heavy benches: fewer samples, skipped in `cargo test` smoke mode.
+//! comparison of Fig. 11 — plus the annealer's inner-loop microbenches:
+//! movement throughput (snapshot-clone vs. undo-journal engines) and the
+//! deterministic portfolio. Mapper runs take seconds, so they register as
+//! heavy benches: fewer samples, skipped in `cargo test` smoke mode. The
+//! movement and portfolio entries are cheap and run (once) even in smoke
+//! mode, so `scripts/verify.sh` can check the suite's JSON end to end.
 
 use lisa_arch::Accelerator;
 use lisa_bench::timing::Suite;
-use lisa_dfg::polybench;
+use lisa_dfg::{polybench, Dfg, OpKind};
 use lisa_mapper::exact::{ExactMapper, ExactParams};
+use lisa_mapper::sa::{movement_throughput, MovementEngine};
 use lisa_mapper::schedule::IiSearch;
-use lisa_mapper::{GuidanceLabels, LabelSaMapper, SaMapper, SaParams};
+use lisa_mapper::{GuidanceLabels, LabelSaMapper, PortfolioParams, SaMapper, SaParams};
+
+/// The paper's Fig. 4 DFG (A..J, dense region around B) — the running
+/// example, and small enough that a movement costs microseconds.
+fn fig4() -> Dfg {
+    let mut g = Dfg::new("fig4");
+    let a = g.add_node(OpKind::Load, "A");
+    let b = g.add_node(OpKind::Load, "B");
+    let c = g.add_node(OpKind::Add, "C");
+    let d = g.add_node(OpKind::Mul, "D");
+    let e = g.add_node(OpKind::Add, "E");
+    let _f = g.add_node(OpKind::Sub, "F");
+    let gg = g.add_node(OpKind::Add, "G");
+    let h = g.add_node(OpKind::Mul, "H");
+    let i = g.add_node(OpKind::Add, "I");
+    let j = g.add_node(OpKind::Store, "J");
+    g.add_data_edge(a, c).unwrap();
+    g.add_data_edge(b, d).unwrap();
+    g.add_data_edge(b, e).unwrap();
+    g.add_data_edge(b, _f).unwrap();
+    g.add_data_edge(b, i).unwrap();
+    g.add_data_edge(c, gg).unwrap();
+    g.add_data_edge(d, gg).unwrap();
+    g.add_data_edge(d, h).unwrap();
+    g.add_data_edge(e, h).unwrap();
+    g.add_data_edge(e, i).unwrap();
+    g.add_data_edge(gg, j).unwrap();
+    g.add_data_edge(h, j).unwrap();
+    g.validate().unwrap();
+    g
+}
 
 fn main() {
     let mut suite = Suite::from_args("mapping");
     let acc = Accelerator::cgra("4x4", 4, 4);
     let search = IiSearch { max_ii: Some(10) };
+
+    // Movement throughput: the annealer's hot loop on the Fig. 4 running
+    // example over a 3x3 CGRA at II 3. `snapshot_clone` prices each move
+    // against a full `Mapping` clone + cost rescan (the pre-journal code
+    // path); `journal` uses the transaction rollback + incremental cost.
+    // Identical seeds and identical trajectories, so ns/iter is a direct
+    // engine comparison.
+    let fig4 = fig4();
+    let acc3 = Accelerator::cgra("3x3", 3, 3);
+    const MOVES: u32 = 200;
+    for (tag, engine) in [
+        ("snapshot_clone", MovementEngine::SnapshotClone),
+        ("journal", MovementEngine::Journal),
+    ] {
+        suite.bench(&format!("movement/fig4_3x3/{tag}"), || {
+            std::hint::black_box(movement_throughput(&fig4, &acc3, 3, 42, MOVES, engine));
+        });
+    }
+
+    // Portfolio: one full map_at_ii on Fig. 4 per iteration. chains=1 is
+    // the historical single-chain annealer; chains=4 runs four seeds and
+    // keeps the best — same result for any worker count, so the bench
+    // fixes parallelism at the machine default.
+    for chains in [1usize, 4] {
+        let portfolio = PortfolioParams::new(chains);
+        suite.bench(&format!("portfolio/fig4_3x3/chains{chains}"), || {
+            let mut sa = SaMapper::new(SaParams::fast(), 42).with_portfolio(portfolio);
+            std::hint::black_box(IiSearch { max_ii: Some(4) }.run(&mut sa, &fig4, &acc3));
+        });
+    }
 
     for name in ["doitgen", "gemm", "mvt"] {
         let dfg = polybench::kernel(name).unwrap();
@@ -28,6 +93,17 @@ fn main() {
             let labels = GuidanceLabels::initial(&dfg);
             let mut lisa = LabelSaMapper::new(labels, SaParams::fast(), seed);
             std::hint::black_box(search.run(&mut lisa, &dfg, &acc));
+        });
+    }
+
+    // Portfolio speedup at realistic scale: 4-chain portfolio vs. the
+    // single chain on a polybench kernel (heavy tier).
+    let doitgen = polybench::kernel("doitgen").unwrap();
+    for chains in [1usize, 4] {
+        let portfolio = PortfolioParams::new(chains);
+        suite.bench_heavy(&format!("portfolio/doitgen_4x4/chains{chains}"), || {
+            let mut sa = SaMapper::new(SaParams::fast(), 7).with_portfolio(portfolio);
+            std::hint::black_box(search.run(&mut sa, &doitgen, &acc));
         });
     }
 

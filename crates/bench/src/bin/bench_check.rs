@@ -1,0 +1,66 @@
+//! CI gate for the bench suite's JSON output.
+//!
+//! `scripts/verify.sh` runs the bench targets in smoke mode (via `cargo
+//! test`), which writes `BENCH_<suite>.json` with single-shot timings,
+//! then runs this binary. It fails (exit 1) when `BENCH_mapping.json` is
+//! missing, malformed, or lacks the movement/portfolio entries the
+//! incremental-annealer work is benchmarked by — so a refactor that
+//! silently drops a bench registration breaks verify, not just the
+//! numbers.
+
+use lisa_bench::timing::bench_dir;
+
+/// Entries every run — smoke or measure — must produce (cheap tier).
+const REQUIRED: &[&str] = &[
+    "movement/fig4_3x3/snapshot_clone",
+    "movement/fig4_3x3/journal",
+    "portfolio/fig4_3x3/chains1",
+    "portfolio/fig4_3x3/chains4",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Extracts the `median_ns` number from the result row for `name`.
+/// The suite writes one row per line, so a line-oriented scan is exact.
+fn median_ns_for<'a>(json: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"name\": \"{name}\"");
+    let line = json.lines().find(|l| l.contains(&tag))?;
+    let rest = line.split("\"median_ns\": ").nth(1)?;
+    Some(rest.split([',', '}']).next()?.trim())
+}
+
+fn main() {
+    let path = format!("{}/BENCH_mapping.json", bench_dir());
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => fail(&format!(
+            "{path} unreadable ({e}); did the bench targets run?"
+        )),
+    };
+    if !json.contains("\"suite\": \"mapping\"") {
+        fail(&format!("{path} lacks the suite header"));
+    }
+    let mode = if json.contains("\"mode\": \"measure\"") {
+        "measure"
+    } else if json.contains("\"mode\": \"smoke\"") {
+        "smoke"
+    } else {
+        fail(&format!("{path} lacks a mode field"));
+    };
+    for name in REQUIRED {
+        let Some(ns) = median_ns_for(&json, name) else {
+            fail(&format!("{path} is missing required entry {name}"));
+        };
+        match ns.parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => {}
+            _ => fail(&format!("entry {name} has malformed median_ns {ns:?}")),
+        }
+    }
+    println!(
+        "bench_check: OK ({path}, mode {mode}, {} required entries present)",
+        REQUIRED.len()
+    );
+}

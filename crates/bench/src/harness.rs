@@ -141,6 +141,7 @@ impl Harness {
                         ..SaParams::paper()
                     },
                     max_ii: Some(12),
+                    parallelism: 1,
                     seed: self.seed,
                 },
                 // The quick scale cannot afford paper-strength annealing in

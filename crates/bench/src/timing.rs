@@ -12,9 +12,13 @@
 //! machine-readable trajectory.
 //!
 //! Under `cargo test` (no `--bench` flag) the suite runs in *smoke mode*:
-//! each cheap benchmark body executes once as a correctness check and
-//! [`Suite::bench_heavy`] registrations are skipped, keeping tier-1 verify
-//! fast while still compiling and exercising the bench code offline.
+//! each cheap benchmark body executes once as a correctness check (and is
+//! recorded as a single-iteration measurement) and [`Suite::bench_heavy`]
+//! registrations are skipped, keeping tier-1 verify fast while still
+//! compiling and exercising the bench code offline. Both modes write
+//! `BENCH_<suite>.json` — the `"mode"` field says how trustworthy the
+//! numbers are — so CI can check the file exists and is well-formed
+//! without paying for a full measurement run.
 
 use std::time::{Duration, Instant};
 
@@ -74,12 +78,22 @@ impl Suite {
     }
 
     /// Registers and runs a cheap benchmark (sub-millisecond to
-    /// low-millisecond bodies). In smoke mode the body runs once.
+    /// low-millisecond bodies). In smoke mode the body runs once and is
+    /// recorded as a single-iteration measurement so the suite's JSON
+    /// still lists every cheap entry.
     pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
         match self.mode {
             Mode::Smoke => {
+                let t = Instant::now();
                 f();
+                let ns = t.elapsed().as_nanos() as f64;
                 println!("smoke {}/{name}: ok", self.name);
+                self.results.push(Measurement {
+                    name: name.to_string(),
+                    median_ns: ns,
+                    samples: 1,
+                    iters_per_sample: 1,
+                });
             }
             Mode::Measure => {
                 let m = measure(name, SAMPLES, &mut f);
@@ -105,19 +119,11 @@ impl Suite {
         }
     }
 
-    /// Finalises the suite: in measure mode, writes `BENCH_<suite>.json`.
+    /// Finalises the suite: writes `BENCH_<suite>.json` in both modes
+    /// (smoke runs stamp `"mode": "smoke"` so tooling never mistakes a
+    /// single-shot timing for a real measurement).
     pub fn finish(self) {
-        if self.mode == Mode::Smoke {
-            return;
-        }
-        // Cargo runs bench binaries with the package dir as CWD; anchor
-        // the default output to the workspace-level target dir.
-        let dir = std::env::var("LISA_BENCH_DIR").unwrap_or_else(|_| {
-            match std::env::var("CARGO_MANIFEST_DIR") {
-                Ok(m) => format!("{m}/../../target/bench"),
-                Err(_) => "target/bench".to_string(),
-            }
-        });
+        let dir = bench_dir();
         if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("[bench] cannot create {dir}: {e}");
             return;
@@ -132,9 +138,14 @@ impl Suite {
     /// The suite's results as a JSON document (hand-rolled: the hermetic
     /// build has no serde).
     pub fn to_json(&self) -> String {
+        let mode = match self.mode {
+            Mode::Measure => "measure",
+            Mode::Smoke => "smoke",
+        };
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"suite\": \"{}\",\n", escape(&self.name)));
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
         out.push_str("  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
             out.push_str(&format!(
@@ -154,6 +165,18 @@ impl Suite {
     pub fn results(&self) -> &[Measurement] {
         &self.results
     }
+}
+
+/// Directory bench suites write their JSON into: `$LISA_BENCH_DIR`, or
+/// the workspace-level `target/bench/`. Cargo runs bench binaries with
+/// the package dir as CWD, so the default is anchored through
+/// `CARGO_MANIFEST_DIR`. Shared with `bench_check`, which validates the
+/// files after a run.
+pub fn bench_dir() -> String {
+    std::env::var("LISA_BENCH_DIR").unwrap_or_else(|_| match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => format!("{m}/../../target/bench"),
+        Err(_) => "target/bench".to_string(),
+    })
 }
 
 /// Warmup then median-of-N measurement of one benchmark body.
@@ -226,7 +249,15 @@ mod tests {
         suite.bench_heavy("heavy", || heavy += 1);
         assert_eq!(cheap, 1);
         assert_eq!(heavy, 0);
-        assert!(suite.results().is_empty());
+        // Cheap benches are recorded (single-shot) so the smoke JSON still
+        // lists them; heavies stay absent.
+        assert_eq!(suite.results().len(), 1);
+        assert_eq!(suite.results()[0].name, "cheap");
+        assert_eq!(suite.results()[0].samples, 1);
+        assert_eq!(suite.results()[0].iters_per_sample, 1);
+        let json = suite.to_json();
+        assert!(json.contains("\"mode\": \"smoke\""));
+        assert!(!json.contains("heavy"));
     }
 
     #[test]

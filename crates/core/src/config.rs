@@ -27,6 +27,12 @@ pub struct LisaConfig {
     /// Annealer parameters used at inference time (the final label-aware
     /// mapping of new DFGs).
     pub sa: SaParams,
+    /// Worker threads for the deterministic parallel portfolio: fans the
+    /// training-data generation out across DFGs and the inference-time II
+    /// search out across speculative IIs. Results are byte-identical for
+    /// every value; `1` executes exactly the historical sequential code
+    /// path. Defaults to the machine's available parallelism.
+    pub parallelism: usize,
     /// Master seed; all stages derive their seeds from it.
     pub seed: u64,
 }
@@ -41,6 +47,7 @@ impl Default for LisaConfig {
             train: TrainConfig::paper(),
             holdout_fraction: 0.2,
             sa: SaParams::paper(),
+            parallelism: lisa_mapper::portfolio::available_parallelism(),
             seed: 2022,
         }
     }

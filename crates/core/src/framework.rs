@@ -56,11 +56,19 @@ impl Lisa {
         // 1. Raw DFG generation (§V-A).
         let dfgs = random::generate_dataset(&config.dfg, config.seed, config.training_dfgs);
 
-        // 2. Iterative label generation + filter (§V-B, §V-C).
+        // 2. Iterative label generation + filter (§V-B, §V-C). Each DFG's
+        // generation is independent, so fan out across worker threads;
+        // results come back in DFG order, so the training set — and every
+        // downstream weight — is identical for any `parallelism`.
+        let generated_per_dfg =
+            lisa_mapper::portfolio::par_map(config.parallelism, dfgs, |_, dfg| {
+                let generated = generate_labels(&dfg, acc, &config.iter_gen);
+                (dfg, generated)
+            });
         let mut labelled: Vec<(Dfg, GuidanceLabels)> = Vec::new();
         let mut labelled_count = 0;
-        for dfg in dfgs {
-            let Some(generated) = generate_labels(&dfg, acc, &config.iter_gen) else {
+        for (dfg, generated) in generated_per_dfg {
+            let Some(generated) = generated else {
                 continue;
             };
             labelled_count += 1;
@@ -205,8 +213,8 @@ impl Lisa {
         acc: &'a Accelerator,
     ) -> (MappingOutcome, Option<Mapping<'a>>) {
         let labels = self.predict_labels(dfg);
-        let mut mapper = LabelSaMapper::new(labels, self.config.sa.clone(), self.config.seed);
-        IiSearch::default().run_with_mapping(&mut mapper, dfg, acc)
+        let mapper = LabelSaMapper::new(labels, self.config.sa.clone(), self.config.seed);
+        IiSearch::default().run_with_mapping_par(&mapper, dfg, acc, self.config.parallelism)
     }
 
     /// Serialises the trained model (the four label networks) to the
@@ -279,11 +287,11 @@ impl Lisa {
         max_ii: u32,
     ) -> (MappingOutcome, Option<Mapping<'a>>) {
         let labels = self.predict_labels(dfg);
-        let mut mapper = LabelSaMapper::new(labels, self.config.sa.clone(), self.config.seed);
+        let mapper = LabelSaMapper::new(labels, self.config.sa.clone(), self.config.seed);
         IiSearch {
             max_ii: Some(max_ii),
         }
-        .run_with_mapping(&mut mapper, dfg, acc)
+        .run_with_mapping_par(&mapper, dfg, acc, self.config.parallelism)
     }
 }
 
@@ -370,6 +378,30 @@ mod tests {
         let b = Lisa::train_for(&acc, &LisaConfig::fast());
         let dfg = polybench::kernel("doitgen").unwrap();
         assert_eq!(a.predict_labels(&dfg), b.predict_labels(&dfg));
+    }
+
+    #[test]
+    fn training_is_parallelism_invariant() {
+        // The portfolio's determinism contract at the framework level:
+        // thread count changes wall clock, never the trained model.
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let sequential = LisaConfig {
+            parallelism: 1,
+            ..LisaConfig::fast()
+        };
+        let parallel = LisaConfig {
+            parallelism: 4,
+            ..LisaConfig::fast()
+        };
+        let a = Lisa::train_for(&acc, &sequential);
+        let b = Lisa::train_for(&acc, &parallel);
+        let dfg = polybench::kernel("doitgen").unwrap();
+        assert_eq!(a.predict_labels(&dfg), b.predict_labels(&dfg));
+        let (oa, _) = a.map_capped(&dfg, &acc, 8);
+        let (ob, _) = b.map_capped(&dfg, &acc, 8);
+        assert_eq!(oa.ii, ob.ii);
+        assert_eq!(oa.routing_cells, ob.routing_cells);
+        assert_eq!(oa.attempts, ob.attempts);
     }
 }
 

@@ -31,6 +31,11 @@ pub struct IterGenConfig {
     pub sa: SaParams,
     /// Cap on the II search (keeps the one-off generation bounded).
     pub max_ii: Option<u32>,
+    /// Worker threads for each round's speculative II search. Results are
+    /// byte-identical for every value. Defaults to 1: the framework
+    /// already fans out across DFGs, and nesting thread pools would
+    /// oversubscribe; raise it when generating labels for a single DFG.
+    pub parallelism: usize,
     /// Base RNG seed; each round perturbs it.
     pub seed: u64,
 }
@@ -41,6 +46,7 @@ impl Default for IterGenConfig {
             rounds: 5,
             sa: SaParams::paper(),
             max_ii: None,
+            parallelism: 1,
             seed: 0xBADCAFE,
         }
     }
@@ -56,6 +62,7 @@ impl IterGenConfig {
                 ..SaParams::fast()
             },
             max_ii: Some(8),
+            parallelism: 1,
             seed: 7,
         }
     }
@@ -104,11 +111,11 @@ pub fn generate_labels(
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(round as u64);
-        let mut mapper = LabelSaMapper::initial_only(current.clone(), config.sa.clone(), seed);
+        let mapper = LabelSaMapper::initial_only(current.clone(), config.sa.clone(), seed);
         let search = IiSearch {
             max_ii: config.max_ii,
         };
-        let (outcome, mapping) = search.run_with_mapping(&mut mapper, dfg, acc);
+        let (outcome, mapping) = search.run_with_mapping_par(&mapper, dfg, acc, config.parallelism);
         let Some(mapping) = mapping else {
             continue; // keep previous labels, try again (paper §V-B)
         };

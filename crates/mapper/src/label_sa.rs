@@ -21,7 +21,8 @@ use lisa_rng::Rng;
 use lisa_arch::{Accelerator, PeId};
 use lisa_dfg::{analysis, same_level, Dfg, EdgeId, NodeId};
 
-use crate::sa::{anneal, MoveStats, SaParams, SaPolicy, VanillaPolicy};
+use crate::portfolio::{anneal_portfolio, PortfolioParams};
+use crate::sa::{MoveStats, SaParams, SaPolicy, VanillaPolicy};
 use crate::schedule::IiMapper;
 use crate::Mapping;
 
@@ -208,7 +209,7 @@ impl<'l> LabelPolicy<'l> {
 }
 
 impl SaPolicy for LabelPolicy<'_> {
-    fn order_nodes(&self, dfg: &Dfg, nodes: &mut [NodeId]) {
+    fn order_nodes(&self, mapping: &Mapping<'_>, nodes: &mut [NodeId]) {
         if self.label_guided() {
             nodes.sort_by(|a, b| {
                 let ka = self.labels.schedule_order[a.index()];
@@ -218,7 +219,7 @@ impl SaPolicy for LabelPolicy<'_> {
                     .then(a.index().cmp(&b.index()))
             });
         } else {
-            VanillaPolicy.order_nodes(dfg, nodes);
+            VanillaPolicy.order_nodes(mapping, nodes);
         }
     }
 
@@ -249,10 +250,11 @@ impl SaPolicy for LabelPolicy<'_> {
         order[idx].1
     }
 
-    fn order_edges(&self, dfg: &Dfg, edges: &mut [EdgeId]) {
+    fn order_edges(&self, mapping: &Mapping<'_>, edges: &mut [EdgeId]) {
+        let dfg = mapping.dfg();
         match self.config.mode {
             LabelMode::InitialOnly if self.initial_done.get() => {
-                VanillaPolicy.order_edges(dfg, edges);
+                VanillaPolicy.order_edges(mapping, edges);
             }
             _ => {
                 // Route the neediest data first: descending label-4 sum of
@@ -315,6 +317,7 @@ pub struct LabelSaMapper {
     config: LabelSaConfig,
     seed: u64,
     name: String,
+    portfolio: PortfolioParams,
 }
 
 impl LabelSaMapper {
@@ -326,6 +329,7 @@ impl LabelSaMapper {
             config: LabelSaConfig::default(),
             seed,
             name: "LISA".to_string(),
+            portfolio: PortfolioParams::sequential(),
         }
     }
 
@@ -340,6 +344,7 @@ impl LabelSaMapper {
             },
             seed,
             name: "SA+RP".to_string(),
+            portfolio: PortfolioParams::sequential(),
         }
     }
 
@@ -355,7 +360,16 @@ impl LabelSaMapper {
             },
             seed,
             name: "LISA-partial".to_string(),
+            portfolio: PortfolioParams::sequential(),
         }
+    }
+
+    /// Runs a portfolio of independently-seeded chains per II and keeps
+    /// the deterministic winner (chain 0 reproduces the single-chain
+    /// mapper, so `chains = 1` is byte-identical to the constructors).
+    pub fn with_portfolio(mut self, portfolio: PortfolioParams) -> Self {
+        self.portfolio = portfolio;
+        self
     }
 
     /// Replaces the labels (e.g. after a fresh GNN prediction).
@@ -389,9 +403,17 @@ impl IiMapper for LabelSaMapper {
             self.labels.matches(dfg),
             "labels do not match the DFG shape"
         );
-        let mut rng = Rng::seed_from_u64(self.seed ^ (u64::from(ii) << 32));
-        let policy = LabelPolicy::new(&self.labels, self.config, dfg);
-        anneal(&policy, &self.params, dfg, acc, ii, &mut rng)
+        // Each chain gets a fresh policy: `LabelPolicy` carries the
+        // InitialOnly transition flag, which must not leak across chains.
+        anneal_portfolio(
+            |_chain| LabelPolicy::new(&self.labels, self.config, dfg),
+            &self.params,
+            &self.portfolio,
+            dfg,
+            acc,
+            ii,
+            self.seed,
+        )
     }
 }
 

@@ -42,6 +42,7 @@ pub mod exact;
 pub mod greedy;
 pub mod label_sa;
 mod mapping;
+pub mod portfolio;
 pub mod router;
 pub mod sa;
 pub mod schedule;
@@ -49,5 +50,7 @@ pub mod schedule;
 pub use error::MapperError;
 pub use label_sa::{GuidanceLabels, LabelMode, LabelSaMapper};
 pub use mapping::{Mapping, Placement, RouteStep};
+pub use portfolio::PortfolioParams;
+pub use router::RouterScratch;
 pub use sa::{SaMapper, SaParams};
 pub use schedule::{IiMapper, IiSearch, MappingOutcome};

@@ -11,7 +11,7 @@ use lisa_arch::power::Activity;
 use lisa_arch::{Accelerator, ArchError, Mrrg, PeId, Resource};
 use lisa_dfg::{Dfg, EdgeId, NodeId};
 
-use crate::router;
+use crate::router::{self, RouterScratch};
 use crate::MapperError;
 
 /// Where and when a node executes.
@@ -48,6 +48,22 @@ enum Cell {
     },
 }
 
+/// One reversible mutation, recorded while a transaction is open so
+/// [`Mapping::rollback`] can undo it. Deltas are replayed in reverse
+/// order, so each stores exactly the state its inverse needs.
+#[derive(Debug, Clone)]
+enum Delta {
+    /// `place(node)` succeeded.
+    Place(NodeId),
+    /// `unplace(node)` removed this placement (its ripped routes are
+    /// journaled separately as `Unroute` deltas by `unroute_edge`).
+    Unplace(NodeId, Placement),
+    /// `route_edge(edge)` succeeded.
+    Route(EdgeId),
+    /// `unroute_edge(edge)` released these steps.
+    Unroute(EdgeId, Vec<RouteStep>),
+}
+
 /// A (possibly partial) mapping of a DFG onto an accelerator at a fixed II.
 ///
 /// # Example
@@ -79,9 +95,41 @@ pub struct Mapping<'a> {
     mrrg: Mrrg<'a>,
     window: u32,
     asap: Vec<u32>,
+    alap: Vec<u32>,
     placements: Vec<Option<Placement>>,
     routes: Vec<Option<Vec<RouteStep>>>,
     cells: Vec<Cell>,
+    // Incremental cost counters, maintained by every mutator so
+    // `mapping_cost` is O(1) instead of rescanning grids per movement.
+    unplaced: usize,
+    unrouted: usize,
+    route_cells: usize,
+    lateness: u64,
+    // Open-transaction journal (empty outside transactions).
+    journal: Vec<Delta>,
+    txn: bool,
+    scratch: RouterScratch,
+}
+
+/// Routing cost of placing a step for `value` on `(resource, time)`:
+/// `Some(1)` for a free cell, `Some(0)` when the cell already carries
+/// the same value at the same absolute time (fanout reuse), `None`
+/// otherwise. A free function over the occupancy grid so `route_edge`
+/// can lend the router its scratch and the cost closure simultaneously.
+fn step_cost(
+    cells: &[Cell],
+    mrrg: &Mrrg<'_>,
+    resource: Resource,
+    time: u32,
+    value: NodeId,
+) -> Option<u32> {
+    match cells[mrrg.index_at(resource, time)] {
+        Cell::Free => Some(1),
+        Cell::Op(_) => None,
+        Cell::Route {
+            value: v, time: t, ..
+        } => (v == value && t == time).then_some(0),
+    }
 }
 
 impl<'a> Mapping<'a> {
@@ -100,15 +148,24 @@ impl<'a> Mapping<'a> {
         let mrrg = Mrrg::new(acc, ii)?;
         let cells = vec![Cell::Free; mrrg.resource_count()];
         let asap = lisa_dfg::analysis::asap(dfg);
+        let alap = lisa_dfg::analysis::alap(dfg);
         let window = asap.iter().copied().max().map_or(1, |m| m + 1) + Self::SLACK_IIS * ii;
         Ok(Mapping {
             dfg,
             mrrg,
             window,
             asap,
+            alap,
             placements: vec![None; dfg.node_count()],
             routes: vec![None; dfg.edge_count()],
             cells,
+            unplaced: dfg.node_count(),
+            unrouted: dfg.edge_count(),
+            route_cells: 0,
+            lateness: 0,
+            journal: Vec::new(),
+            txn: false,
+            scratch: RouterScratch::default(),
         })
     }
 
@@ -142,6 +199,112 @@ impl<'a> Mapping<'a> {
     /// start here regardless of which neighbours are currently placed.
     pub fn asap_level(&self, node: NodeId) -> u32 {
         self.asap[node.index()]
+    }
+
+    /// ALAP level of a node (cached at construction). Slack is
+    /// `alap_level - asap_level`; policies use it to prioritise
+    /// critical-path nodes without recomputing the analysis per movement.
+    pub fn alap_level(&self, node: NodeId) -> u32 {
+        self.alap[node.index()]
+    }
+
+    /// Number of nodes without a placement (O(1) running counter).
+    pub fn unplaced_count(&self) -> usize {
+        self.unplaced
+    }
+
+    /// Number of edges without a route (O(1) running counter).
+    pub fn unrouted_count(&self) -> usize {
+        self.unrouted
+    }
+
+    /// Sum of placement times over all placed nodes (O(1) running
+    /// counter) — the schedule-compactness term of the SA cost.
+    pub fn lateness(&self) -> u64 {
+        self.lateness
+    }
+
+    /// Opens a transaction: subsequent mutations are journaled until
+    /// [`commit`](Self::commit) or [`rollback`](Self::rollback).
+    /// Transactions do not nest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already open.
+    pub fn begin_txn(&mut self) {
+        assert!(!self.txn, "transactions do not nest");
+        debug_assert!(self.journal.is_empty());
+        self.txn = true;
+    }
+
+    /// Closes the open transaction, keeping all journaled mutations.
+    pub fn commit(&mut self) {
+        debug_assert!(self.txn, "commit without begin_txn");
+        self.journal.clear();
+        self.txn = false;
+    }
+
+    /// Closes the open transaction, undoing every journaled mutation in
+    /// reverse order. Afterwards the mapping is byte-identical to its
+    /// state at [`begin_txn`](Self::begin_txn) (the annealer
+    /// debug-asserts this against a snapshot clone).
+    pub fn rollback(&mut self) {
+        debug_assert!(self.txn, "rollback without begin_txn");
+        self.txn = false;
+        while let Some(delta) = self.journal.pop() {
+            match delta {
+                Delta::Place(node) => {
+                    let p = self.placements[node.index()]
+                        .take()
+                        .expect("journaled place left a placement");
+                    let idx = self.mrrg.fu_index_at(p.pe, p.time);
+                    debug_assert_eq!(self.cells[idx], Cell::Op(node));
+                    self.cells[idx] = Cell::Free;
+                    self.unplaced += 1;
+                    self.lateness -= u64::from(p.time);
+                }
+                Delta::Unplace(node, p) => {
+                    let idx = self.mrrg.fu_index_at(p.pe, p.time);
+                    debug_assert_eq!(self.cells[idx], Cell::Free);
+                    self.cells[idx] = Cell::Op(node);
+                    self.placements[node.index()] = Some(p);
+                    self.unplaced -= 1;
+                    self.lateness += u64::from(p.time);
+                }
+                Delta::Route(edge) => {
+                    let released = self.release_route(edge);
+                    debug_assert!(released.is_some(), "journaled route already released");
+                }
+                Delta::Unroute(edge, steps) => {
+                    let value = self.dfg.edge(edge).src;
+                    for s in &steps {
+                        let idx = self.mrrg.index_at(s.resource, s.time);
+                        match &mut self.cells[idx] {
+                            c @ Cell::Free => {
+                                *c = Cell::Route {
+                                    value,
+                                    time: s.time,
+                                    refs: 1,
+                                };
+                                self.route_cells += 1;
+                            }
+                            Cell::Route {
+                                value: v,
+                                time: t,
+                                refs,
+                            } => {
+                                debug_assert!(*v == value && *t == s.time);
+                                *refs += 1;
+                            }
+                            Cell::Op(_) => unreachable!("route cell reverted to op"),
+                        }
+                    }
+                    debug_assert!(self.routes[edge.index()].is_none());
+                    self.routes[edge.index()] = Some(steps);
+                    self.unrouted -= 1;
+                }
+            }
+        }
     }
 
     /// Current placement of a node, if any.
@@ -185,6 +348,11 @@ impl<'a> Mapping<'a> {
         }
         self.cells[idx] = Cell::Op(node);
         self.placements[node.index()] = Some(Placement { pe, time });
+        self.unplaced -= 1;
+        self.lateness += u64::from(time);
+        if self.txn {
+            self.journal.push(Delta::Place(node));
+        }
         Ok(())
     }
 
@@ -194,19 +362,23 @@ impl<'a> Mapping<'a> {
         let Some(p) = self.placements[node.index()].take() else {
             return;
         };
-        let incident: Vec<EdgeId> = self
-            .dfg
-            .in_edges(node)
-            .iter()
-            .chain(self.dfg.out_edges(node))
-            .copied()
-            .collect();
-        for e in incident {
+        // `dfg` is a copy of the `&'a Dfg` reference, so the edge slices
+        // outlive the `&mut self` calls below — no collect needed.
+        let dfg = self.dfg;
+        for &e in dfg.in_edges(node) {
+            self.unroute_edge(e);
+        }
+        for &e in dfg.out_edges(node) {
             self.unroute_edge(e);
         }
         let idx = self.mrrg.fu_index_at(p.pe, p.time);
         debug_assert_eq!(self.cells[idx], Cell::Op(node));
         self.cells[idx] = Cell::Free;
+        self.unplaced += 1;
+        self.lateness -= u64::from(p.time);
+        if self.txn {
+            self.journal.push(Delta::Unplace(node, p));
+        }
     }
 
     /// Effective consumer time of an edge: the consumer's schedule time
@@ -244,23 +416,29 @@ impl<'a> Mapping<'a> {
                 dst_time,
             });
         }
-        let steps = router::find_route(
-            &self.mrrg,
+        // Split the field borrows so the router mutates the scratch while
+        // the cost closure reads the occupancy grid — no per-call
+        // `mem::take` of the scratch.
+        let (scratch, cells, mrrg) = (&mut self.scratch, &self.cells, &self.mrrg);
+        let found = router::find_route_in(
+            scratch,
+            mrrg,
             e.src,
             src.pe,
             src.time,
             dst_pe,
             dst_time,
-            |resource, time| self.step_cost(resource, time, e.src),
-        )
-        .ok_or(MapperError::NoRoute(edge))?;
+            |resource, time| step_cost(cells, mrrg, resource, time, e.src),
+        );
+        let steps = found.ok_or(MapperError::NoRoute(edge))?;
         // Commit: the router guarantees per-cell consistency, but a path
-        // may wrap onto itself modulo II; verify before mutating.
-        let mut seen = std::collections::HashMap::new();
-        for s in &steps {
-            let idx = self.mrrg.index_at(s.resource, s.time);
-            if let Some(prev) = seen.insert(idx, s.time) {
-                if prev != s.time {
+        // may wrap onto itself modulo II; verify before mutating. Paths
+        // are at most a few steps, so a pairwise scan beats allocating a
+        // hash table on every routed edge.
+        for (i, a) in steps.iter().enumerate() {
+            let a_idx = self.mrrg.index_at(a.resource, a.time);
+            for b in &steps[i + 1..] {
+                if self.mrrg.index_at(b.resource, b.time) == a_idx && b.time != a.time {
                     return Err(MapperError::NoRoute(edge));
                 }
             }
@@ -285,40 +463,44 @@ impl<'a> Mapping<'a> {
             }
         }
         self.routes[edge.index()] = Some(steps);
-        Ok(new_cells)
-    }
-
-    /// Routing cost of placing a step for `value` on `(resource, time)`:
-    /// `Some(1)` for a free cell, `Some(0)` when the cell already carries
-    /// the same value at the same absolute time (fanout reuse), `None`
-    /// otherwise.
-    fn step_cost(&self, resource: Resource, time: u32, value: NodeId) -> Option<u32> {
-        match self.cells[self.mrrg.index_at(resource, time)] {
-            Cell::Free => Some(1),
-            Cell::Op(_) => None,
-            Cell::Route {
-                value: v, time: t, ..
-            } => (v == value && t == time).then_some(0),
+        self.unrouted -= 1;
+        self.route_cells += new_cells;
+        if self.txn {
+            self.journal.push(Delta::Route(edge));
         }
+        Ok(new_cells)
     }
 
     /// Releases an edge's route. A no-op if the edge is unrouted.
     pub fn unroute_edge(&mut self, edge: EdgeId) {
-        let Some(steps) = self.routes[edge.index()].take() else {
+        let Some(steps) = self.release_route(edge) else {
             return;
         };
-        for s in steps {
+        if self.txn {
+            self.journal.push(Delta::Unroute(edge, steps));
+        }
+    }
+
+    /// Frees an edge's route cells and maintains the counters, without
+    /// journaling — shared by [`unroute_edge`](Self::unroute_edge) and
+    /// rollback's undo of `Route` deltas. Returns the released steps.
+    fn release_route(&mut self, edge: EdgeId) -> Option<Vec<RouteStep>> {
+        let steps = self.routes[edge.index()].take()?;
+        for s in &steps {
             let idx = self.mrrg.index_at(s.resource, s.time);
             match &mut self.cells[idx] {
                 Cell::Route { refs, .. } => {
                     *refs -= 1;
                     if *refs == 0 {
                         self.cells[idx] = Cell::Free;
+                        self.route_cells -= 1;
                     }
                 }
                 other => unreachable!("route step cell in state {other:?}"),
             }
         }
+        self.unrouted += 1;
+        Some(steps)
     }
 
     /// Nodes without a placement.
@@ -337,14 +519,45 @@ impl<'a> Mapping<'a> {
             .collect()
     }
 
+    /// Allocation-free variant of [`unplaced_nodes`](Self::unplaced_nodes):
+    /// clears `out` and refills it in the same (id) order. The annealer
+    /// calls this every movement, so hot paths reuse one buffer.
+    pub fn unplaced_nodes_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            self.dfg
+                .node_ids()
+                .filter(|n| self.placements[n.index()].is_none()),
+        );
+    }
+
+    /// Allocation-free variant of [`unrouted_edges`](Self::unrouted_edges).
+    pub fn unrouted_edges_into(&self, out: &mut Vec<EdgeId>) {
+        out.clear();
+        out.extend(
+            self.dfg
+                .edge_ids()
+                .filter(|e| self.routes[e.index()].is_none()),
+        );
+    }
+
     /// Whether every node is placed and every edge routed.
     pub fn is_complete(&self) -> bool {
-        self.placements.iter().all(Option::is_some) && self.routes.iter().all(Option::is_some)
+        self.unplaced == 0 && self.unrouted == 0
     }
 
     /// Total resource cells occupied by routing — the paper's "routing
-    /// cost" used to rank label candidates (§V-B).
+    /// cost" used to rank label candidates (§V-B). O(1) running counter;
+    /// [`verify`](Self::verify) cross-checks it against a full scan.
     pub fn routing_cells(&self) -> usize {
+        self.route_cells
+    }
+
+    /// Routing-cell count recomputed by scanning the occupancy grid.
+    /// Used by `verify` and by the movement-throughput bench's
+    /// "snapshot-clone era" engine, which must price the cost function
+    /// the way the pre-journal annealer did.
+    pub fn routing_cells_scan(&self) -> usize {
         self.cells
             .iter()
             .filter(|c| matches!(c, Cell::Route { .. }))
@@ -393,6 +606,43 @@ impl<'a> Mapping<'a> {
     ///
     /// Returns a description of the first violated invariant.
     pub fn verify(&self) -> Result<(), String> {
+        // Incremental counters must agree with a from-scratch recount.
+        let scanned_unplaced = self.placements.iter().filter(|p| p.is_none()).count();
+        if self.unplaced != scanned_unplaced {
+            return Err(format!(
+                "unplaced counter {} != scan {scanned_unplaced}",
+                self.unplaced
+            ));
+        }
+        let scanned_unrouted = self.routes.iter().filter(|r| r.is_none()).count();
+        if self.unrouted != scanned_unrouted {
+            return Err(format!(
+                "unrouted counter {} != scan {scanned_unrouted}",
+                self.unrouted
+            ));
+        }
+        let scanned_cells = self.routing_cells_scan();
+        if self.route_cells != scanned_cells {
+            return Err(format!(
+                "route-cell counter {} != scan {scanned_cells}",
+                self.route_cells
+            ));
+        }
+        let scanned_lateness: u64 = self
+            .placements
+            .iter()
+            .flatten()
+            .map(|p| u64::from(p.time))
+            .sum();
+        if self.lateness != scanned_lateness {
+            return Err(format!(
+                "lateness counter {} != scan {scanned_lateness}",
+                self.lateness
+            ));
+        }
+        if self.txn || !self.journal.is_empty() {
+            return Err("verify called with an open transaction".to_string());
+        }
         // Placement capability + uniqueness.
         let mut fu_owner = std::collections::HashMap::new();
         for n in self.dfg.node_ids() {
@@ -658,6 +908,79 @@ mod tests {
         let w = m.schedule_window();
         let err = m.place(NodeId::new(0), PeId::new(0), w).unwrap_err();
         assert!(matches!(err, MapperError::TimeOutOfWindow { .. }));
+    }
+
+    #[test]
+    fn txn_rollback_restores_byte_identical_state() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let mut m = Mapping::new(&dfg, &acc, 4).unwrap();
+        m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
+        m.place(NodeId::new(1), PeId::new(8), 4).unwrap();
+        m.route_edge(EdgeId::new(0)).unwrap();
+        let before = format!("{m:?}");
+
+        m.begin_txn();
+        // Unplace rips the route, then remap elsewhere and reroute.
+        m.unplace(NodeId::new(1));
+        m.place(NodeId::new(1), PeId::new(1), 1).unwrap();
+        m.place(NodeId::new(2), PeId::new(2), 2).unwrap();
+        m.route_edge(EdgeId::new(0)).unwrap();
+        m.route_edge(EdgeId::new(1)).unwrap();
+        m.rollback();
+
+        assert_eq!(format!("{m:?}"), before);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn txn_commit_keeps_mutations() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&dfg, &acc, 3).unwrap();
+        m.begin_txn();
+        m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
+        m.place(NodeId::new(1), PeId::new(1), 1).unwrap();
+        m.route_edge(EdgeId::new(0)).unwrap();
+        m.commit();
+        assert!(m.placement(NodeId::new(0)).is_some());
+        assert!(m.route(EdgeId::new(0)).is_some());
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn counters_match_scans_through_mutations() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let mut m = Mapping::new(&dfg, &acc, 4).unwrap();
+        assert_eq!(m.unplaced_count(), 3);
+        assert_eq!(m.unrouted_count(), 2);
+        m.place(NodeId::new(0), PeId::new(0), 0).unwrap();
+        m.place(NodeId::new(1), PeId::new(8), 4).unwrap();
+        m.place(NodeId::new(2), PeId::new(7), 5).unwrap();
+        m.route_edge(EdgeId::new(0)).unwrap();
+        m.route_edge(EdgeId::new(1)).unwrap();
+        assert_eq!(m.unplaced_count(), 0);
+        assert_eq!(m.unrouted_count(), 0);
+        assert_eq!(m.routing_cells(), m.routing_cells_scan());
+        assert_eq!(m.lateness(), 9);
+        m.verify().unwrap();
+        m.unplace(NodeId::new(1));
+        assert_eq!(m.unplaced_count(), 1);
+        assert_eq!(m.unrouted_count(), 2);
+        assert_eq!(m.routing_cells(), 0);
+        assert_eq!(m.lateness(), 5);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "transactions do not nest")]
+    fn nested_txn_panics() {
+        let dfg = chain3();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let mut m = Mapping::new(&dfg, &acc, 2).unwrap();
+        m.begin_txn();
+        m.begin_txn();
     }
 }
 

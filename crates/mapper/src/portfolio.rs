@@ -1,0 +1,260 @@
+//! Deterministic parallel mapping portfolio.
+//!
+//! Runs N independently-seeded annealing chains for the same `(DFG,
+//! accelerator, II)` problem and keeps a winner chosen by
+//! `(success, cost, chain index)`. Every chain's result is joined before
+//! the winner is picked, so the outcome depends only on the seeds — never
+//! on thread count or scheduling. That is the portfolio's determinism
+//! contract: `parallelism` is purely a wall-clock knob, and
+//! `parallelism = 1` is byte-identical to `parallelism = N`.
+//!
+//! The same result-invariant work distributor ([`par_map`]) backs the
+//! parallel II search ([`crate::schedule::IiSearch::run_with_mapping_par`])
+//! and the training-data generator's fan-out across DFGs.
+//!
+//! Threads come from `std::thread::scope` — the workspace is hermetic, so
+//! no rayon.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use lisa_arch::Accelerator;
+use lisa_dfg::Dfg;
+use lisa_rng::Rng;
+
+use crate::sa::{anneal, mapping_cost, SaParams, SaPolicy};
+use crate::Mapping;
+
+/// Portfolio shape: how many chains compete and how many worker threads
+/// execute them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortfolioParams {
+    /// Number of independently-seeded annealing chains per II. Chain 0
+    /// uses the mapper's own seed derivation, so `chains = 1` reproduces
+    /// the single-chain mapper exactly.
+    pub chains: usize,
+    /// Worker threads used to execute chains (and, at the framework
+    /// level, IIs / training DFGs). Affects wall-clock only, never the
+    /// result.
+    pub parallelism: usize,
+}
+
+impl PortfolioParams {
+    /// One chain on one thread: today's sequential behaviour, exactly.
+    pub fn sequential() -> Self {
+        PortfolioParams {
+            chains: 1,
+            parallelism: 1,
+        }
+    }
+
+    /// `chains` chains on all available cores.
+    pub fn new(chains: usize) -> Self {
+        PortfolioParams {
+            chains,
+            parallelism: available_parallelism(),
+        }
+    }
+
+    /// Same chain set on a specific thread count (used by the
+    /// determinism tests to prove thread-count invariance).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+}
+
+impl Default for PortfolioParams {
+    fn default() -> Self {
+        PortfolioParams::sequential()
+    }
+}
+
+/// Number of hardware threads, with a safe floor of 1.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item on up to `parallelism` scoped threads and
+/// returns the results in item order. The work distribution is a shared
+/// atomic cursor, but each result lands in its item's slot, so the output
+/// is invariant to thread count and scheduling. `parallelism <= 1` (or a
+/// single item) runs inline with no threads at all.
+pub fn par_map<T, R, F>(parallelism: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = parallelism.max(1).min(n);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("each item is claimed exactly once");
+                let r = f(i, item);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every item produces a result")
+        })
+        .collect()
+}
+
+/// Derives the RNG seed of chain `chain` for target `ii`. Chain 0 keeps
+/// the historical single-chain derivation (`seed ^ (ii << 32)`); later
+/// chains decorrelate through a splitmix64-style finalizer.
+fn chain_seed(seed: u64, chain: u64, ii: u32) -> u64 {
+    let base = if chain == 0 {
+        seed
+    } else {
+        let mut z = seed.wrapping_add(chain.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    base ^ (u64::from(ii) << 32)
+}
+
+/// Runs the chain portfolio for one II and returns the winning mapping.
+///
+/// `make_policy` constructs a fresh policy per chain (policies may carry
+/// per-run state, e.g. the label policy's InitialOnly flag). All chains
+/// are joined before judging; the winner is the lowest-cost successful
+/// chain, ties broken by chain index, so the result is identical no
+/// matter how the chains were scheduled.
+pub(crate) fn anneal_portfolio<'a, P, F>(
+    make_policy: F,
+    params: &SaParams,
+    portfolio: &PortfolioParams,
+    dfg: &'a Dfg,
+    acc: &'a Accelerator,
+    ii: u32,
+    seed: u64,
+) -> Option<Mapping<'a>>
+where
+    P: SaPolicy,
+    F: Fn(usize) -> P + Sync,
+{
+    let chains = portfolio.chains.max(1);
+    let results = par_map(
+        portfolio.parallelism,
+        (0..chains).collect::<Vec<usize>>(),
+        |_, chain| {
+            let policy = make_policy(chain);
+            let mut rng = Rng::seed_from_u64(chain_seed(seed, chain as u64, ii));
+            anneal(&policy, params, dfg, acc, ii, &mut rng).map(|m| (mapping_cost(&m), m))
+        },
+    );
+    let mut best: Option<(f64, Mapping<'a>)> = None;
+    for candidate in results.into_iter().flatten() {
+        match &best {
+            // Strict improvement only: earlier chains win ties.
+            Some((cost, _)) if candidate.0 >= *cost => {}
+            _ => best = Some(candidate),
+        }
+    }
+    best.map(|(_, m)| m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::SaMapper;
+    use crate::schedule::IiMapper;
+    use lisa_dfg::OpKind;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        for parallelism in [1, 2, 4, 7] {
+            let items: Vec<u64> = (0..20).collect();
+            let out = par_map(parallelism, items, |i, x| x * 10 + i as u64);
+            let expect: Vec<u64> = (0..20).map(|x| x * 10 + x).collect();
+            assert_eq!(out, expect, "parallelism {parallelism}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, empty, |_, x: u32| x).is_empty());
+        assert_eq!(par_map(4, vec![9], |i, x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn chain_zero_keeps_historical_seed() {
+        assert_eq!(chain_seed(42, 0, 3), 42 ^ (3u64 << 32));
+        // Later chains must decorrelate from chain 0 and each other.
+        assert_ne!(chain_seed(42, 1, 3), chain_seed(42, 0, 3));
+        assert_ne!(chain_seed(42, 1, 3), chain_seed(42, 2, 3));
+    }
+
+    fn diamond() -> Dfg {
+        let mut g = Dfg::new("diamond");
+        let a = g.add_node(OpKind::Load, "a");
+        let b = g.add_node(OpKind::Add, "b");
+        let c = g.add_node(OpKind::Mul, "c");
+        let d = g.add_node(OpKind::Store, "d");
+        g.add_data_edge(a, b).unwrap();
+        g.add_data_edge(a, c).unwrap();
+        g.add_data_edge(b, d).unwrap();
+        g.add_data_edge(c, d).unwrap();
+        g
+    }
+
+    #[test]
+    fn single_chain_portfolio_matches_plain_mapper() {
+        let dfg = diamond();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let plain = SaMapper::new(SaParams::fast(), 5).map_at_ii(&dfg, &acc, 2);
+        let single = SaMapper::new(SaParams::fast(), 5)
+            .with_portfolio(PortfolioParams::sequential())
+            .map_at_ii(&dfg, &acc, 2);
+        assert_eq!(
+            plain.map(|m| format!("{m:?}")),
+            single.map(|m| format!("{m:?}"))
+        );
+    }
+
+    #[test]
+    fn portfolio_result_is_thread_count_invariant() {
+        let dfg = diamond();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let runs: Vec<Option<String>> = [1, 2, 4]
+            .into_iter()
+            .map(|threads| {
+                SaMapper::new(SaParams::fast(), 5)
+                    .with_portfolio(PortfolioParams::new(4).with_parallelism(threads))
+                    .map_at_ii(&dfg, &acc, 2)
+                    .map(|m| format!("{m:?}"))
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+        assert!(runs[0].is_some(), "diamond maps at II 2 on a 2x2");
+    }
+}

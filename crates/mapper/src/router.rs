@@ -14,11 +14,102 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 use lisa_arch::{Mrrg, PeId, Resource};
 use lisa_dfg::NodeId;
 
 use crate::mapping::RouteStep;
+
+/// Sentinel for "no parent" in [`RouterScratch::parent`].
+const NO_PARENT: usize = usize::MAX;
+
+/// Reusable Dijkstra state. The search arrays are epoch-stamped: a cell is
+/// only valid when its epoch matches the current search's, so starting a
+/// new search is O(1) and per-search work is O(states touched), not
+/// O(state_count). One scratch is owned by each [`crate::Mapping`], so the
+/// annealer's millions of `route_edge` calls stop reallocating.
+#[derive(Clone, Default)]
+pub struct RouterScratch {
+    best: Vec<u32>,
+    parent: Vec<usize>,
+    resource: Vec<Option<Resource>>,
+    epoch: Vec<u32>,
+    cur: u32,
+    // (cost, state index). Indices fit u32 (layers × resources per slot),
+    // and the 8-byte entry keeps the heap's sift loops in fewer cache
+    // lines than a (u32, usize) tuple would.
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    moves: Vec<Resource>,
+}
+
+impl fmt::Debug for RouterScratch {
+    /// Opaque by design: scratch contents are transient search state, and
+    /// including them in `Mapping`'s debug rendering would break the
+    /// byte-identity contracts (rollback equivalence, run determinism).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RouterScratch")
+    }
+}
+
+impl RouterScratch {
+    /// Starts a new search over `state_count` states.
+    fn begin(&mut self, state_count: usize) {
+        if self.epoch.len() < state_count {
+            self.best.resize(state_count, u32::MAX);
+            self.parent.resize(state_count, NO_PARENT);
+            self.resource.resize(state_count, None);
+            self.epoch.resize(state_count, 0);
+        }
+        self.heap.clear();
+        if self.cur == u32::MAX {
+            // Epoch wrap: invalidate everything once, then restart.
+            self.epoch.fill(0);
+            self.cur = 0;
+        }
+        self.cur += 1;
+    }
+
+    fn best(&self, idx: usize) -> u32 {
+        if self.epoch[idx] == self.cur {
+            self.best[idx]
+        } else {
+            u32::MAX
+        }
+    }
+
+    fn set(&mut self, idx: usize, cost: u32, resource: Resource, parent: usize) {
+        self.epoch[idx] = self.cur;
+        self.best[idx] = cost;
+        self.resource[idx] = Some(resource);
+        self.parent[idx] = parent;
+    }
+}
+
+/// Finds a minimum-new-cost route with a throwaway scratch. Convenience
+/// wrapper over [`find_route_in`] for one-off calls and tests; hot paths
+/// (the annealer) reuse a scratch instead.
+pub fn find_route(
+    mrrg: &Mrrg<'_>,
+    value: NodeId,
+    src_pe: PeId,
+    src_time: u32,
+    dst_pe: PeId,
+    dst_time: u32,
+    step_cost: impl Fn(Resource, u32) -> Option<u32>,
+) -> Option<Vec<RouteStep>> {
+    let mut scratch = RouterScratch::default();
+    find_route_in(
+        &mut scratch,
+        mrrg,
+        value,
+        src_pe,
+        src_time,
+        dst_pe,
+        dst_time,
+        step_cost,
+    )
+}
 
 /// Finds a minimum-new-cost route.
 ///
@@ -29,7 +120,9 @@ use crate::mapping::RouteStep;
 ///
 /// Returns the intermediate steps (empty when the consumer is directly
 /// adjacent one cycle later), or `None` if no conflict-free path exists.
-pub fn find_route(
+#[allow(clippy::too_many_arguments)]
+pub fn find_route_in(
+    scratch: &mut RouterScratch,
     mrrg: &Mrrg<'_>,
     _value: NodeId,
     src_pe: PeId,
@@ -61,58 +154,79 @@ pub fn find_route(
             }
         }
     };
-    let mut best = vec![u32::MAX; state_count];
-    let mut parent: Vec<Option<(usize, Resource)>> = vec![None; state_count];
-    let mut resources: Vec<Option<Resource>> = vec![None; state_count];
+    scratch.begin(state_count);
 
-    let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+    // The moves buffer is taken out of the scratch so the borrow checker
+    // allows mutating the search arrays while iterating it; `moves_from`
+    // would otherwise allocate on every expansion of the hot loop.
+    let mut moves = std::mem::take(&mut scratch.moves);
+
+    // Cone pruning: `hop_distance` is a true lower bound on the link hops
+    // a value still needs, so a state at layer `k` whose PE is further
+    // than the remaining `layers - k` moves (counting the final consume
+    // hop) can never feed the consumer. Pruned states only ever expand to
+    // other pruned states, so surviving costs, heap pop order, and the
+    // chosen route are exactly what the unpruned search would produce.
+    let acc = mrrg.accelerator();
+    let reachable =
+        |r: Resource, layer: usize| acc.hop_distance(r.pe(), dst_pe) as usize <= layers - layer;
 
     // Seed layer 0 (cycle src_time + 1) from the producer FU.
-    for r in mrrg.moves_from(Resource::Fu(src_pe)) {
+    mrrg.moves_from_into(Resource::Fu(src_pe), &mut moves);
+    for &r in &moves {
+        if !reachable(r, 0) {
+            continue;
+        }
         let t = src_time + 1;
         let Some(cost) = step_cost(r, t) else {
             continue;
         };
         let idx = resource_offset(r);
-        if cost < best[idx] {
-            best[idx] = cost;
-            resources[idx] = Some(r);
-            heap.push(Reverse((cost, idx)));
+        if cost < scratch.best(idx) {
+            scratch.set(idx, cost, r, NO_PARENT);
+            scratch.heap.push(Reverse((cost, idx as u32)));
         }
     }
 
     let mut goal: Option<usize> = None;
-    let mut goal_cost = u32::MAX;
-    while let Some(Reverse((cost, idx))) = heap.pop() {
-        if cost > best[idx] {
+    while let Some(Reverse((cost, idx))) = scratch.heap.pop() {
+        let idx = idx as usize;
+        if cost > scratch.best(idx) {
             continue;
         }
         let layer = idx / per_slot;
-        let r = resources[idx].expect("visited states hold a resource");
+        let r = scratch.resource[idx].expect("visited states hold a resource");
         let time = src_time + 1 + layer as u32;
         if layer == layers - 1 {
-            // Last intermediate layer: can it feed the consumer?
-            if mrrg.can_consume(r, dst_pe) && cost < goal_cost {
+            // Last intermediate layer: can it feed the consumer? Pops
+            // come off the heap in nondecreasing cost order, so the first
+            // consumable state is optimal — nothing later in the heap can
+            // strictly improve on it.
+            if mrrg.can_consume(r, dst_pe) {
                 goal = Some(idx);
-                goal_cost = cost;
+                break;
             }
             continue;
         }
-        for next in mrrg.moves_from(r) {
+        mrrg.moves_from_into(r, &mut moves);
+        for &next in &moves {
+            if !reachable(next, layer + 1) {
+                continue;
+            }
             let nt = time + 1;
             let Some(c) = step_cost(next, nt) else {
                 continue;
             };
             let nidx = (layer + 1) * per_slot + resource_offset(next);
             let ncost = cost + c;
-            if ncost < best[nidx] {
-                best[nidx] = ncost;
-                resources[nidx] = Some(next);
-                parent[nidx] = Some((idx, r));
-                heap.push(Reverse((ncost, nidx)));
+            if ncost < scratch.best(nidx) {
+                scratch.set(nidx, ncost, next, idx);
+                scratch.heap.push(Reverse((ncost, nidx as u32)));
             }
         }
     }
+
+    scratch.moves = moves;
 
     let goal = goal?;
     // Reconstruct.
@@ -120,14 +234,14 @@ pub fn find_route(
     let mut cur = goal;
     loop {
         let layer = cur / per_slot;
-        let r = resources[cur].expect("path states hold a resource");
+        let r = scratch.resource[cur].expect("path states hold a resource");
         steps.push(RouteStep {
             resource: r,
             time: src_time + 1 + layer as u32,
         });
-        match parent[cur] {
-            Some((prev, _)) => cur = prev,
-            None => break,
+        match scratch.parent[cur] {
+            NO_PARENT => break,
+            prev => cur = prev,
         }
     }
     steps.reverse();

@@ -89,9 +89,13 @@ pub struct MoveStats {
 }
 
 /// The three decision points where vanilla SA and label-aware SA differ.
+///
+/// Ordering hooks receive the mapping (not just the DFG) so policies can
+/// use its cached per-node analyses (ASAP/ALAP) instead of recomputing
+/// them on every movement.
 pub trait SaPolicy {
     /// Orders unmapped nodes for placement (Algorithm 1 line 3).
-    fn order_nodes(&self, dfg: &Dfg, nodes: &mut [NodeId]);
+    fn order_nodes(&self, mapping: &Mapping<'_>, nodes: &mut [NodeId]);
 
     /// Picks one of `candidates` (all feasible `(pe, time)` slots) for
     /// `node` (Algorithm 1 lines 5–8). Returns an index into `candidates`.
@@ -105,7 +109,7 @@ pub trait SaPolicy {
     ) -> usize;
 
     /// Orders unrouted edges for routing (Algorithm 1 line 9).
-    fn order_edges(&self, dfg: &Dfg, edges: &mut [EdgeId]);
+    fn order_edges(&self, mapping: &Mapping<'_>, edges: &mut [EdgeId]);
 }
 
 /// Vanilla policy: ASAP placement order, uniformly random PE candidate,
@@ -114,9 +118,8 @@ pub trait SaPolicy {
 pub struct VanillaPolicy;
 
 impl SaPolicy for VanillaPolicy {
-    fn order_nodes(&self, dfg: &Dfg, nodes: &mut [NodeId]) {
-        let asap = lisa_dfg::analysis::asap(dfg);
-        nodes.sort_by_key(|n| (asap[n.index()], n.index()));
+    fn order_nodes(&self, mapping: &Mapping<'_>, nodes: &mut [NodeId]) {
+        nodes.sort_by_key(|n| (mapping.asap_level(*n), n.index()));
     }
 
     fn choose_candidate(
@@ -130,7 +133,7 @@ impl SaPolicy for VanillaPolicy {
         rng.gen_range(0..candidates.len())
     }
 
-    fn order_edges(&self, _dfg: &Dfg, edges: &mut [EdgeId]) {
+    fn order_edges(&self, _mapping: &Mapping<'_>, edges: &mut [EdgeId]) {
         edges.sort_by_key(|e| e.index());
     }
 }
@@ -138,18 +141,30 @@ impl SaPolicy for VanillaPolicy {
 /// Cost of a (possibly partial) mapping: unplaced nodes and unrouted edges
 /// dominate; routing cells break ties so tighter routings win, and a small
 /// makespan term keeps schedules compact (late placements starve their
-/// successors of causal slots).
+/// successors of causal slots). O(1): every term is a running counter the
+/// `Mapping` maintains through its mutators.
 pub(crate) fn mapping_cost(m: &Mapping<'_>) -> f64 {
-    let lateness: u32 = m
+    1000.0 * m.unplaced_count() as f64
+        + 100.0 * m.unrouted_count() as f64
+        + m.routing_cells() as f64
+        + 0.01 * m.lateness() as f64
+}
+
+/// The pre-journal cost function: identical value to [`mapping_cost`] but
+/// recomputed by scanning placements, routes, and the occupancy grid —
+/// exactly what every movement paid before the incremental counters. Kept
+/// for the movement-throughput bench's before/after comparison.
+pub fn mapping_cost_scan(m: &Mapping<'_>) -> f64 {
+    let lateness: u64 = m
         .dfg()
         .node_ids()
         .filter_map(|n| m.placement(n))
-        .map(|p| p.time)
+        .map(|p| u64::from(p.time))
         .sum();
     1000.0 * m.unplaced_nodes().len() as f64
         + 100.0 * m.unrouted_edges().len() as f64
-        + m.routing_cells() as f64
-        + 0.01 * f64::from(lateness)
+        + m.routing_cells_scan() as f64
+        + 0.01 * lateness as f64
 }
 
 /// All feasible `(pe, time)` slots for `node`, bounded by its placed data
@@ -157,6 +172,16 @@ pub(crate) fn mapping_cost(m: &Mapping<'_>) -> f64 {
 /// successor. If the bounds conflict, the lower bound wins and the
 /// offending successor edges simply fail to route (and cost accordingly).
 pub(crate) fn candidate_slots(m: &Mapping<'_>, node: NodeId) -> Vec<(PeId, u32)> {
+    let mut out = Vec::new();
+    candidate_slots_into(m, node, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`candidate_slots`]: clears `out` and
+/// refills it. The annealer evaluates candidates for every remapped node
+/// of every movement, so hot paths reuse one buffer.
+fn candidate_slots_into(m: &Mapping<'_>, node: NodeId, out: &mut Vec<(PeId, u32)>) {
+    out.clear();
     let dfg = m.dfg();
     let acc = m.accelerator();
     // A node can never execute before its data depth; this keeps
@@ -177,7 +202,6 @@ pub(crate) fn candidate_slots(m: &Mapping<'_>, node: NodeId) -> Vec<(PeId, u32)>
         hi = m.schedule_window() - 1;
     }
     let op = dfg.node(node).op;
-    let mut out = Vec::new();
     for pe in 0..acc.pe_count() {
         let pe = PeId::new(pe);
         if !acc.supports(pe, op) {
@@ -199,7 +223,19 @@ pub(crate) fn candidate_slots(m: &Mapping<'_>, node: NodeId) -> Vec<(PeId, u32)>
             }
         }
     }
-    out
+}
+
+/// Reusable per-anneal scratch for the movement loop. Every movement
+/// needs a handful of short-lived lists (problematic nodes, victims, the
+/// remap set, the unrouted-edge worklist, candidate slots); owning them
+/// here turns five-plus heap allocations per movement into none.
+#[derive(Debug, Default)]
+struct MoveBuffers {
+    problematic: Vec<NodeId>,
+    victims: Vec<NodeId>,
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+    candidates: Vec<(PeId, u32)>,
 }
 
 /// The annealing core shared by [`SaMapper`] and
@@ -213,13 +249,16 @@ pub(crate) fn anneal<'a, P: SaPolicy>(
     rng: &mut Rng,
 ) -> Option<Mapping<'a>> {
     let start = Instant::now();
+    let sa_debug = std::env::var_os("LISA_SA_DEBUG").is_some();
     let mut mapping = Mapping::new(dfg, acc, ii).ok()?;
     let mut stats = MoveStats::default();
+    let mut bufs = MoveBuffers::default();
 
     // Initial mapping: every node is unmapped (Algorithm 1, first
     // iteration).
-    place_nodes(policy, &mut mapping, dfg.node_ids().collect(), stats, rng);
-    route_all(policy, &mut mapping);
+    bufs.nodes.extend(dfg.node_ids());
+    place_nodes(policy, &mut mapping, &mut bufs, stats, rng);
+    route_all(policy, &mut mapping, &mut bufs);
     let mut cost = mapping_cost(&mapping);
     if mapping.is_complete() {
         return Some(mapping);
@@ -232,15 +271,22 @@ pub(crate) fn anneal<'a, P: SaPolicy>(
                 return None;
             }
             stats.attempted += 1;
-            let snapshot = mapping.clone();
-            movement(policy, &mut mapping, params, stats, rng);
+            // Rejected movements are undone through the journal instead of
+            // restoring a pre-movement deep clone; in debug builds a
+            // snapshot cross-checks that rollback is byte-identical.
+            #[cfg(debug_assertions)]
+            let snapshot = format!("{mapping:?}");
+            mapping.begin_txn();
+            movement(policy, &mut mapping, params, &mut bufs, stats, rng);
             let new_cost = mapping_cost(&mapping);
             if mapping.is_complete() {
+                mapping.commit();
                 return Some(mapping);
             }
             let accept =
                 new_cost <= cost || rng.gen_bool(((cost - new_cost) / temp).exp().clamp(0.0, 1.0));
             if accept {
+                mapping.commit();
                 // The deviation schedule counts only strict improvements:
                 // plateau moves must not mask a stuck search, or sigma
                 // never widens and the label policy repeats itself.
@@ -249,10 +295,16 @@ pub(crate) fn anneal<'a, P: SaPolicy>(
                 }
                 cost = new_cost;
             } else {
-                mapping = snapshot;
+                mapping.rollback();
+                #[cfg(debug_assertions)]
+                debug_assert_eq!(
+                    snapshot,
+                    format!("{mapping:?}"),
+                    "journal rollback diverged from the pre-movement snapshot"
+                );
             }
         }
-        if std::env::var_os("LISA_SA_DEBUG").is_some() {
+        if sa_debug {
             let unrouted = mapping.unrouted_edges();
             let detail: Vec<String> = unrouted
                 .iter()
@@ -286,23 +338,32 @@ fn movement<P: SaPolicy>(
     policy: &P,
     mapping: &mut Mapping<'_>,
     params: &SaParams,
+    bufs: &mut MoveBuffers,
     stats: MoveStats,
     rng: &mut Rng,
 ) {
     let dfg = mapping.dfg();
     // Problematic nodes: endpoints of unrouted edges, plus unplaced nodes.
-    let mut problematic: Vec<NodeId> = mapping.unplaced_nodes();
-    for e in mapping.unrouted_edges() {
-        let edge = dfg.edge(e);
-        problematic.push(edge.src);
-        problematic.push(edge.dst);
+    mapping.unplaced_nodes_into(&mut bufs.problematic);
+    for e in dfg.edge_ids() {
+        if mapping.route(e).is_none() {
+            let edge = dfg.edge(e);
+            bufs.problematic.push(edge.src);
+            bufs.problematic.push(edge.dst);
+        }
     }
+    let problematic = &mut bufs.problematic;
     problematic.sort_by_key(|n| n.index());
     problematic.dedup();
 
-    let count = rng.gen_range(1..=params.max_unmap);
-    let mut victims = Vec::with_capacity(count);
-    for _ in 0..count {
+    // Duplicate draws retry until `count` distinct victims are found
+    // (capped by the node count so the loop always terminates); earlier
+    // versions silently shrank the unmap set on collisions, biasing
+    // movements toward smaller perturbations than the drawn count.
+    let count = rng.gen_range(1..=params.max_unmap).min(dfg.node_count());
+    let victims = &mut bufs.victims;
+    victims.clear();
+    while victims.len() < count {
         let v = if !problematic.is_empty() && rng.gen_bool(0.7) {
             problematic[rng.gen_range(0..problematic.len())]
         } else {
@@ -312,31 +373,33 @@ fn movement<P: SaPolicy>(
             victims.push(v);
         }
     }
-    for &v in &victims {
-        mapping.unplace(v);
+    for i in 0..bufs.victims.len() {
+        mapping.unplace(bufs.victims[i]);
     }
     // Remap everything currently unplaced (victims plus earlier failures).
-    let unplaced = mapping.unplaced_nodes();
-    place_nodes(policy, mapping, unplaced, stats, rng);
-    route_all(policy, mapping);
+    mapping.unplaced_nodes_into(&mut bufs.nodes);
+    place_nodes(policy, mapping, bufs, stats, rng);
+    route_all(policy, mapping, bufs);
 }
 
-/// Places `nodes` in policy order, consulting the policy for each slot.
+/// Places the nodes in `bufs.nodes` in policy order, consulting the
+/// policy for each slot. The caller fills `bufs.nodes`.
 fn place_nodes<P: SaPolicy>(
     policy: &P,
     mapping: &mut Mapping<'_>,
-    mut nodes: Vec<NodeId>,
+    bufs: &mut MoveBuffers,
     stats: MoveStats,
     rng: &mut Rng,
 ) {
-    policy.order_nodes(mapping.dfg(), &mut nodes);
-    for node in nodes {
-        let candidates = candidate_slots(mapping, node);
-        if candidates.is_empty() {
+    policy.order_nodes(mapping, &mut bufs.nodes);
+    for i in 0..bufs.nodes.len() {
+        let node = bufs.nodes[i];
+        candidate_slots_into(mapping, node, &mut bufs.candidates);
+        if bufs.candidates.is_empty() {
             continue;
         }
-        let idx = policy.choose_candidate(mapping, node, &candidates, stats, rng);
-        let (pe, t) = candidates[idx];
+        let idx = policy.choose_candidate(mapping, node, &bufs.candidates, stats, rng);
+        let (pe, t) = bufs.candidates[idx];
         mapping
             .place(node, pe, t)
             .expect("candidate slots are feasible by construction");
@@ -345,16 +408,133 @@ fn place_nodes<P: SaPolicy>(
 
 /// Attempts to route every unrouted edge whose endpoints are placed, in
 /// policy order. Failures are left unrouted for the cost function.
-fn route_all<P: SaPolicy>(policy: &P, mapping: &mut Mapping<'_>) {
-    let mut edges = mapping.unrouted_edges();
-    policy.order_edges(mapping.dfg(), &mut edges);
-    for e in edges {
+fn route_all<P: SaPolicy>(policy: &P, mapping: &mut Mapping<'_>, bufs: &mut MoveBuffers) {
+    mapping.unrouted_edges_into(&mut bufs.edges);
+    policy.order_edges(mapping, &mut bufs.edges);
+    for i in 0..bufs.edges.len() {
+        let e = bufs.edges[i];
         let edge = mapping.dfg().edge(e);
         if mapping.placement(edge.src).is_none() || mapping.placement(edge.dst).is_none() {
             continue;
         }
         let _ = mapping.route_edge(e);
     }
+}
+
+/// The pre-PR vanilla policy: same ordering as [`VanillaPolicy`], but
+/// recomputes the ASAP analysis on every `order_nodes` call — exactly what
+/// the annealer paid per movement before `Mapping` cached the analysis.
+/// Only the movement-throughput bench uses it (identical sort keys, so
+/// trajectories stay byte-identical to [`VanillaPolicy`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct UncachedVanillaPolicy;
+
+impl SaPolicy for UncachedVanillaPolicy {
+    fn order_nodes(&self, mapping: &Mapping<'_>, nodes: &mut [NodeId]) {
+        let asap = lisa_dfg::analysis::asap(mapping.dfg());
+        nodes.sort_by_key(|n| (asap[n.index()], n.index()));
+    }
+
+    fn choose_candidate(
+        &self,
+        mapping: &Mapping<'_>,
+        node: NodeId,
+        candidates: &[(PeId, u32)],
+        stats: MoveStats,
+        rng: &mut Rng,
+    ) -> usize {
+        VanillaPolicy.choose_candidate(mapping, node, candidates, stats, rng)
+    }
+
+    fn order_edges(&self, mapping: &Mapping<'_>, edges: &mut [EdgeId]) {
+        VanillaPolicy.order_edges(mapping, edges);
+    }
+}
+
+/// Rejected-movement restoration strategy driven by
+/// [`movement_throughput`]: the historical per-movement deep clone, or the
+/// transaction journal the annealer uses today.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MovementEngine {
+    /// Pre-journal engine: deep-clone the mapping before each movement,
+    /// price the cost function by rescanning, restore the clone on reject.
+    SnapshotClone,
+    /// Journal engine: record deltas in a transaction, read the running
+    /// cost counters, roll back on reject.
+    Journal,
+}
+
+/// Runs `moves` SA movements at a fixed temperature and returns the number
+/// of strict improvements accepted. Both engines consume the RNG
+/// identically and price movements to the same values, so for a given seed
+/// they follow byte-identical trajectories — the bench compares pure
+/// engine overhead, and a unit test pins the equivalence.
+pub fn movement_throughput(
+    dfg: &Dfg,
+    acc: &Accelerator,
+    ii: u32,
+    seed: u64,
+    moves: u32,
+    engine: MovementEngine,
+) -> u32 {
+    let params = SaParams::paper();
+    let policy = VanillaPolicy;
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut mapping = Mapping::new(dfg, acc, ii).expect("bench II must be valid");
+    let mut stats = MoveStats::default();
+    let mut bufs = MoveBuffers::default();
+    bufs.nodes.extend(dfg.node_ids());
+    place_nodes(&policy, &mut mapping, &mut bufs, stats, &mut rng);
+    route_all(&policy, &mut mapping, &mut bufs);
+    let temp = params.initial_temp;
+    let mut improved = 0;
+    match engine {
+        MovementEngine::SnapshotClone => {
+            // Pre-PR per-movement bill: deep clone, ASAP recompute in the
+            // ordering policy, full cost rescan.
+            let policy = UncachedVanillaPolicy;
+            let mut cost = mapping_cost_scan(&mapping);
+            for _ in 0..moves {
+                stats.attempted += 1;
+                let snapshot = mapping.clone();
+                movement(&policy, &mut mapping, &params, &mut bufs, stats, &mut rng);
+                let new_cost = mapping_cost_scan(&mapping);
+                let accept = new_cost <= cost
+                    || rng.gen_bool(((cost - new_cost) / temp).exp().clamp(0.0, 1.0));
+                if accept {
+                    if new_cost < cost {
+                        stats.accepted += 1;
+                        improved += 1;
+                    }
+                    cost = new_cost;
+                } else {
+                    mapping = snapshot;
+                }
+            }
+        }
+        MovementEngine::Journal => {
+            let mut cost = mapping_cost(&mapping);
+            for _ in 0..moves {
+                stats.attempted += 1;
+                mapping.begin_txn();
+                movement(&policy, &mut mapping, &params, &mut bufs, stats, &mut rng);
+                let new_cost = mapping_cost(&mapping);
+                let accept = new_cost <= cost
+                    || rng.gen_bool(((cost - new_cost) / temp).exp().clamp(0.0, 1.0));
+                if accept {
+                    mapping.commit();
+                    if new_cost < cost {
+                        stats.accepted += 1;
+                        improved += 1;
+                    }
+                    cost = new_cost;
+                } else {
+                    mapping.rollback();
+                }
+            }
+        }
+    }
+    improved
 }
 
 /// The vanilla simulated-annealing mapper (the paper's SA baseline).
@@ -383,17 +563,32 @@ pub struct SaMapper {
     params: SaParams,
     seed: u64,
     name: String,
+    portfolio: crate::portfolio::PortfolioParams,
 }
 
 impl SaMapper {
-    /// Creates a mapper with the given parameters and RNG seed.
+    /// Creates a mapper with the given parameters and RNG seed. Runs a
+    /// single annealing chain; see [`with_portfolio`](Self::with_portfolio).
     pub fn new(params: SaParams, seed: u64) -> Self {
         let name = if params.moves_per_temp >= 10 * SaParams::paper().moves_per_temp {
             "SA-M".to_string()
         } else {
             "SA".to_string()
         };
-        SaMapper { params, seed, name }
+        SaMapper {
+            params,
+            seed,
+            name,
+            portfolio: crate::portfolio::PortfolioParams::sequential(),
+        }
+    }
+
+    /// Runs a portfolio of independently-seeded chains per II and keeps the
+    /// deterministic winner. Chain 0 reproduces the single-chain mapper
+    /// exactly, so `chains = 1` is byte-identical to [`new`](Self::new).
+    pub fn with_portfolio(mut self, portfolio: crate::portfolio::PortfolioParams) -> Self {
+        self.portfolio = portfolio;
+        self
     }
 
     /// The annealing parameters.
@@ -413,8 +608,15 @@ impl IiMapper for SaMapper {
         acc: &'a Accelerator,
         ii: u32,
     ) -> Option<Mapping<'a>> {
-        let mut rng = Rng::seed_from_u64(self.seed ^ (u64::from(ii) << 32));
-        anneal(&VanillaPolicy, &self.params, dfg, acc, ii, &mut rng)
+        crate::portfolio::anneal_portfolio(
+            |_chain| VanillaPolicy,
+            &self.params,
+            &self.portfolio,
+            dfg,
+            acc,
+            ii,
+            self.seed,
+        )
     }
 }
 
@@ -542,6 +744,20 @@ mod tests {
         let cands = candidate_slots(&m, NodeId::new(1));
         assert!(!cands.is_empty());
         assert!(cands.iter().all(|&(_, t)| t >= 3));
+    }
+
+    #[test]
+    fn movement_engines_follow_identical_trajectories() {
+        // The journal engine must replicate the snapshot-clone engine's
+        // trajectory exactly: same RNG draws, same accept decisions, same
+        // improvement count — this is the rollback-equivalence contract.
+        let dfg = polybench::kernel("doitgen").unwrap();
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        for seed in [1, 7, 42] {
+            let a = movement_throughput(&dfg, &acc, 3, seed, 120, MovementEngine::SnapshotClone);
+            let b = movement_throughput(&dfg, &acc, 3, seed, 120, MovementEngine::Journal);
+            assert_eq!(a, b, "engines diverged for seed {seed}");
+        }
     }
 
     #[test]

@@ -142,6 +142,92 @@ impl IiSearch {
             None,
         )
     }
+
+    /// Parallel variant of [`run`](Self::run); see
+    /// [`run_with_mapping_par`](Self::run_with_mapping_par).
+    pub fn run_par<M>(
+        &self,
+        mapper: &M,
+        dfg: &Dfg,
+        acc: &Accelerator,
+        parallelism: usize,
+    ) -> MappingOutcome
+    where
+        M: IiMapper + Clone + Send + Sync,
+    {
+        self.run_with_mapping_par(mapper, dfg, acc, parallelism).0
+    }
+
+    /// Speculative parallel II search. IIs are attempted in waves of
+    /// `parallelism`; every wave is fully joined before judging, and the
+    /// smallest successful II wins, so the outcome — including the
+    /// `attempts` count, which bills exactly the IIs the sequential search
+    /// would have tried — is byte-identical to
+    /// [`run_with_mapping`](Self::run_with_mapping) for any thread count.
+    /// Only `compile_time` (wall clock) differs.
+    ///
+    /// Each attempt runs on a clone of `mapper`, so this requires a mapper
+    /// whose `map_at_ii` is a pure function of `(self, dfg, acc, ii)` —
+    /// true for both annealing mappers, whose state is seed + parameters.
+    pub fn run_with_mapping_par<'a, M>(
+        &self,
+        mapper: &M,
+        dfg: &'a Dfg,
+        acc: &'a Accelerator,
+        parallelism: usize,
+    ) -> (MappingOutcome, Option<Mapping<'a>>)
+    where
+        M: IiMapper + Clone + Send + Sync,
+    {
+        let start = Instant::now();
+        let lo = mii(dfg, acc);
+        let hi = self.max_ii.unwrap_or(acc.max_ii()).min(acc.max_ii());
+        let stride = parallelism.max(1) as u32;
+        let mut attempts = 0;
+        let mut ii = lo;
+        while ii <= hi {
+            let wave_end = hi.min(ii + stride - 1);
+            let targets: Vec<u32> = (ii..=wave_end).collect();
+            let results = crate::portfolio::par_map(parallelism, targets, |_, target| {
+                let mut chain = mapper.clone();
+                chain.map_at_ii(dfg, acc, target)
+            });
+            for (offset, result) in results.into_iter().enumerate() {
+                attempts += 1;
+                if let Some(m) = result {
+                    debug_assert!(m.is_complete());
+                    debug_assert_eq!(m.verify(), Ok(()));
+                    let outcome = MappingOutcome {
+                        mapper: mapper.name().to_string(),
+                        dfg: dfg.name().to_string(),
+                        accelerator: acc.name().to_string(),
+                        ii: Some(ii + offset as u32),
+                        compile_time: start.elapsed(),
+                        routing_cells: m.routing_cells(),
+                        activity: m.activity(),
+                        ops: dfg.op_count(),
+                        attempts,
+                    };
+                    return (outcome, Some(m));
+                }
+            }
+            ii = wave_end + 1;
+        }
+        (
+            MappingOutcome {
+                mapper: mapper.name().to_string(),
+                dfg: dfg.name().to_string(),
+                accelerator: acc.name().to_string(),
+                ii: None,
+                compile_time: start.elapsed(),
+                routing_cells: 0,
+                activity: Activity::default(),
+                ops: dfg.op_count(),
+                attempts,
+            },
+            None,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +263,7 @@ mod tests {
         assert_eq!(mii(&g, &acc), 3);
     }
 
+    #[derive(Clone)]
     struct FailThenSucceed {
         succeed_at: u32,
     }
@@ -235,5 +322,30 @@ mod tests {
         let mut mapper = FailThenSucceed { succeed_at: 99 };
         let outcome = IiSearch { max_ii: Some(2) }.run(&mut mapper, &g, &acc);
         assert_eq!(outcome.attempts, 2);
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_for_any_thread_count() {
+        let mut g = Dfg::new("one");
+        g.add_node(OpKind::Add, "a");
+        let acc = Accelerator::cgra("2x2", 2, 2).with_max_ii(6);
+        let sequential = IiSearch::default().run(&mut FailThenSucceed { succeed_at: 3 }, &g, &acc);
+        for threads in [1, 2, 4, 8] {
+            let par =
+                IiSearch::default().run_par(&FailThenSucceed { succeed_at: 3 }, &g, &acc, threads);
+            assert_eq!(par.ii, sequential.ii, "threads {threads}");
+            // Speculative wave attempts beyond the winner are not billed.
+            assert_eq!(par.attempts, sequential.attempts, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_search_failure_bills_every_ii() {
+        let mut g = Dfg::new("one");
+        g.add_node(OpKind::Add, "a");
+        let acc = Accelerator::cgra("2x2", 2, 2).with_max_ii(4);
+        let outcome = IiSearch::default().run_par(&FailThenSucceed { succeed_at: 99 }, &g, &acc, 3);
+        assert_eq!(outcome.ii, None);
+        assert_eq!(outcome.attempts, 4);
     }
 }

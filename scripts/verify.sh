@@ -9,4 +9,11 @@ cargo fmt --check
 cargo build --release --offline
 cargo test -q --offline
 
+# Bench smoke: run the mapping micro-benches once each (heavy tier is
+# skipped), which writes target/bench/BENCH_mapping.json; bench_check
+# fails if the file is missing, malformed, or lacks the required
+# movement/portfolio entries.
+cargo test -q --offline -p lisa-bench --benches
+cargo run -q --offline -p lisa-bench --bin bench_check
+
 echo "verify: OK"

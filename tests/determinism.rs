@@ -4,9 +4,9 @@
 //! recorded experiment trajectory depend on this.
 
 use lisa::arch::Accelerator;
-use lisa::dfg::{generate_random_dfg, RandomDfgConfig};
+use lisa::dfg::{generate_random_dfg, polybench, RandomDfgConfig};
 use lisa::mapper::schedule::{IiMapper, IiSearch};
-use lisa::mapper::{SaMapper, SaParams};
+use lisa::mapper::{GuidanceLabels, LabelSaMapper, PortfolioParams, SaMapper, SaParams};
 
 /// Two generator runs with the same seed produce byte-identical DFGs
 /// (compared through their full debug rendering, which covers nodes,
@@ -49,6 +49,44 @@ fn sa_mapper_runs_are_byte_identical() {
         let b = run(seed);
         assert_eq!(a.as_bytes(), b.as_bytes(), "seed {seed} diverged");
     }
+}
+
+/// The deterministic portfolio's contract: a 4-chain portfolio produces a
+/// byte-identical mapping whether the chains (and the speculative II
+/// search around them) run on 1 worker or 4. Covered for both annealing
+/// mappers on a polybench kernel, so the whole parallel path — `par_map`,
+/// wave-based II search, chain seeding, winner selection — is pinned.
+#[test]
+fn portfolio_is_thread_count_invariant() {
+    let dfg = polybench::kernel("doitgen").unwrap();
+    let acc = Accelerator::cgra("4x4", 4, 4);
+    let search = IiSearch { max_ii: Some(8) };
+    let render = |outcome: &lisa::mapper::MappingOutcome,
+                  mapping: &Option<lisa::mapper::Mapping>| {
+        format!(
+            "ii={:?} routing_cells={} attempts={}\n{mapping:?}",
+            outcome.ii, outcome.routing_cells, outcome.attempts
+        )
+    };
+    let sa_run = |threads: usize| {
+        let mapper = SaMapper::new(SaParams::fast(), 2022)
+            .with_portfolio(PortfolioParams::new(4).with_parallelism(threads));
+        let (outcome, mapping) = search.run_with_mapping_par(&mapper, &dfg, &acc, threads);
+        render(&outcome, &mapping)
+    };
+    assert_eq!(sa_run(1).as_bytes(), sa_run(4).as_bytes(), "SA diverged");
+
+    let lisa_run = |threads: usize| {
+        let mapper = LabelSaMapper::new(GuidanceLabels::initial(&dfg), SaParams::fast(), 2022)
+            .with_portfolio(PortfolioParams::new(4).with_parallelism(threads));
+        let (outcome, mapping) = search.run_with_mapping_par(&mapper, &dfg, &acc, threads);
+        render(&outcome, &mapping)
+    };
+    assert_eq!(
+        lisa_run(1).as_bytes(),
+        lisa_run(4).as_bytes(),
+        "LISA diverged"
+    );
 }
 
 /// Different seeds change the SA trajectory (guards against a seed being

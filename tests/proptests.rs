@@ -122,6 +122,67 @@ lisa_rng::props! {
         }
     }
 
+    /// A transaction is invisible after rollback: any random op sequence
+    /// (place / unplace / route / unroute) applied inside `begin_txn` and
+    /// rolled back leaves the mapping *byte-identical* to its pre-txn
+    /// debug rendering — the exact contract the annealer's journal-based
+    /// reject path relies on instead of cloning the mapping per movement.
+    fn txn_rollback_is_byte_identical(seed in 0u64..500, op_seed in 0u64..u64::MAX) {
+        use lisa::dfg::NodeId;
+
+        let dfg = generate_random_dfg(&small_dfg_config(), seed);
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let mut sa = SaMapper::new(SaParams::fast(), seed);
+        let (_, mapping) =
+            IiSearch { max_ii: Some(8) }.run_with_mapping(&mut sa, &dfg, &acc);
+        if let Some(mut m) = mapping {
+            let mut rng = lisa_rng::Rng::seed_from_u64(op_seed);
+            let snapshot = format!("{m:?}");
+            m.begin_txn();
+            for _ in 0..16 {
+                match rng.gen_range(0..4u32) {
+                    0 => {
+                        // Place (or fail on an occupied FU — also a no-op).
+                        let n = NodeId::new(rng.gen_range(0..dfg.node_count()));
+                        if m.placement(n).is_none() {
+                            let pe = PeId::new(rng.gen_range(0..acc.pe_count()));
+                            let t = rng.gen_range(0..m.ii());
+                            let _ = m.place(n, pe, t);
+                        }
+                    }
+                    1 => {
+                        let placed: Vec<NodeId> = dfg
+                            .node_ids()
+                            .filter(|n| m.placement(*n).is_some())
+                            .collect();
+                        if !placed.is_empty() {
+                            m.unplace(placed[rng.gen_range(0..placed.len())]);
+                        }
+                    }
+                    2 => {
+                        let unrouted = m.unrouted_edges();
+                        if !unrouted.is_empty() {
+                            let _ = m.route_edge(unrouted[rng.gen_range(0..unrouted.len())]);
+                        }
+                    }
+                    _ => {
+                        let unrouted = m.unrouted_edges();
+                        let routed: Vec<_> = dfg
+                            .edge_ids()
+                            .filter(|e| !unrouted.contains(e))
+                            .collect();
+                        if !routed.is_empty() {
+                            m.unroute_edge(routed[rng.gen_range(0..routed.len())]);
+                        }
+                    }
+                }
+            }
+            m.rollback();
+            assert_eq!(snapshot.as_bytes(), format!("{m:?}").as_bytes());
+            assert!(m.verify().is_ok(), "verify failed: {:?}", m.verify());
+        }
+    }
+
     /// Placement and unplacement are inverses: after ripping every node,
     /// the mapping is empty again and all cells are free.
     fn unplace_restores_empty_state(seed in 0u64..500) {
