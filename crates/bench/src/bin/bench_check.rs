@@ -2,20 +2,32 @@
 //!
 //! `scripts/verify.sh` runs the bench targets in smoke mode (via `cargo
 //! test`), which writes `BENCH_<suite>.json` with single-shot timings,
-//! then runs this binary. It fails (exit 1) when `BENCH_mapping.json` is
-//! missing, malformed, or lacks the movement/portfolio entries the
-//! incremental-annealer work is benchmarked by — so a refactor that
-//! silently drops a bench registration breaks verify, not just the
-//! numbers.
+//! then runs this binary. It fails (exit 1) when `BENCH_mapping.json` or
+//! `BENCH_gnn.json` is missing, malformed, or lacks the entries the
+//! incremental-annealer and batched-GNN work is benchmarked by — so a
+//! refactor that silently drops a bench registration breaks verify, not
+//! just the numbers.
 
 use lisa_bench::timing::bench_dir;
 
-/// Entries every run — smoke or measure — must produce (cheap tier).
-const REQUIRED: &[&str] = &[
+/// Mapping-suite entries every run — smoke or measure — must produce
+/// (cheap tier).
+const REQUIRED_MAPPING: &[&str] = &[
     "movement/fig4_3x3/snapshot_clone",
     "movement/fig4_3x3/journal",
     "portfolio/fig4_3x3/chains1",
     "portfolio/fig4_3x3/chains4",
+];
+
+/// GNN-suite entries every run must produce: inference throughput and
+/// one training epoch for each of the three network architectures.
+const REQUIRED_GNN: &[&str] = &[
+    "schedule_order/predict_syr2k",
+    "edge_mlp/predict",
+    "spatial/predict",
+    "schedule_order/train_epoch_8",
+    "edge_mlp/train_epoch_64",
+    "spatial/train_epoch_48",
 ];
 
 fn fail(msg: &str) -> ! {
@@ -32,15 +44,17 @@ fn median_ns_for<'a>(json: &'a str, name: &str) -> Option<&'a str> {
     Some(rest.split([',', '}']).next()?.trim())
 }
 
-fn main() {
-    let path = format!("{}/BENCH_mapping.json", bench_dir());
+/// Validates one suite file: header, mode, and required entries with
+/// finite positive medians. Returns the mode for the OK line.
+fn check_suite(suite: &str, required: &[&str]) -> &'static str {
+    let path = format!("{}/BENCH_{suite}.json", bench_dir());
     let json = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => fail(&format!(
             "{path} unreadable ({e}); did the bench targets run?"
         )),
     };
-    if !json.contains("\"suite\": \"mapping\"") {
+    if !json.contains(&format!("\"suite\": \"{suite}\"")) {
         fail(&format!("{path} lacks the suite header"));
     }
     let mode = if json.contains("\"mode\": \"measure\"") {
@@ -50,7 +64,7 @@ fn main() {
     } else {
         fail(&format!("{path} lacks a mode field"));
     };
-    for name in REQUIRED {
+    for name in required {
         let Some(ns) = median_ns_for(&json, name) else {
             fail(&format!("{path} is missing required entry {name}"));
         };
@@ -59,8 +73,16 @@ fn main() {
             _ => fail(&format!("entry {name} has malformed median_ns {ns:?}")),
         }
     }
-    println!(
-        "bench_check: OK ({path}, mode {mode}, {} required entries present)",
-        REQUIRED.len()
-    );
+    mode
+}
+
+fn main() {
+    let suites = [("mapping", REQUIRED_MAPPING), ("gnn", REQUIRED_GNN)];
+    for (suite, required) in suites {
+        let mode = check_suite(suite, required);
+        println!(
+            "bench_check: OK (BENCH_{suite}.json, mode {mode}, {} required entries present)",
+            required.len()
+        );
+    }
 }

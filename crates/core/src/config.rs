@@ -27,11 +27,13 @@ pub struct LisaConfig {
     /// Annealer parameters used at inference time (the final label-aware
     /// mapping of new DFGs).
     pub sa: SaParams,
-    /// Worker threads for the deterministic parallel portfolio: fans the
-    /// training-data generation out across DFGs and the inference-time II
-    /// search out across speculative IIs. Results are byte-identical for
-    /// every value; `1` executes exactly the historical sequential code
-    /// path. Defaults to the machine's available parallelism.
+    /// Worker threads for the deterministic parallel stages: fans the
+    /// training-data generation out across DFGs, the GNN gradient loop
+    /// out across micro-batches ([`TrainConfig::parallelism`] is set
+    /// from this in `Lisa::train_for`), and the inference-time II search
+    /// out across speculative IIs. Results are byte-identical for every
+    /// value; `1` executes exactly the historical sequential code path.
+    /// Defaults to the machine's available parallelism.
     pub parallelism: usize,
     /// Master seed; all stages derive their seeds from it.
     pub seed: u64,

@@ -91,16 +91,22 @@ impl Lisa {
             holdout_set.push(dfg, labels);
         }
 
-        // 4. Train the four label networks (§IV-B, §VI-B).
+        // 4. Train the four label networks (§IV-B, §VI-B). The framework's
+        // worker budget also drives the deterministic parallel gradient
+        // loop inside each network (bit-identical for any value).
+        let train_cfg = lisa_gnn::TrainConfig {
+            parallelism: config.parallelism.max(1),
+            ..config.train
+        };
         let mut schedule_net = ScheduleOrderNet::new(NODE_ATTR_DIM, config.seed ^ 0x1);
         let mut same_level_net = EdgeMlp::new(DUMMY_ATTR_DIM, config.seed ^ 0x2);
         let mut spatial_net = SpatialNet::new(EDGE_ATTR_DIM, config.seed ^ 0x3);
         let mut temporal_net = EdgeMlp::new(EDGE_ATTR_DIM, config.seed ^ 0x4);
 
-        let r1 = schedule_net.train(&train_set.node_graphs, &config.train);
-        let r2 = same_level_net.train(&train_set.same_level, &config.train);
-        let r3 = spatial_net.train(&train_set.spatial, &config.train);
-        let r4 = temporal_net.train(&train_set.temporal, &config.train);
+        let r1 = schedule_net.train(&train_set.node_graphs, &train_cfg);
+        let r2 = same_level_net.train(&train_set.same_level, &train_cfg);
+        let r3 = spatial_net.train(&train_set.spatial, &train_cfg);
+        let r4 = temporal_net.train(&train_set.temporal, &train_cfg);
 
         // 5. Table II: held-out accuracy per label.
         let eval_set = if holdout_set.is_empty() {
@@ -159,19 +165,29 @@ impl Lisa {
     /// distances are clamped to ≥ 0 and temporal distances to ≥ 1
     /// (causality).
     pub fn predict_labels(&self, dfg: &Dfg) -> GuidanceLabels {
+        // One forward-only tape serves every prediction of this call:
+        // inference mode skips op journaling, and reset() keeps the
+        // arena's buffers between networks.
+        let mut g = lisa_gnn::Graph::inference();
         let attrs = DfgAttributes::generate(dfg);
         let node_sample = NodeGraphSample {
             node_attrs: attrs.node.clone(),
             neighbors: DfgAttributes::adjacency(dfg),
             targets: vec![0.0; dfg.node_count()],
         };
-        let schedule_order = self.schedule_net.predict(&node_sample);
+        let schedule_order = self.schedule_net.predict_with(&mut g, &node_sample);
 
         let same_level = attrs
             .dummy_edges
             .iter()
             .zip(&attrs.dummy)
-            .map(|(d, a)| (d.a, d.b, self.same_level_net.predict(a).max(0.0)))
+            .map(|(d, a)| {
+                (
+                    d.a,
+                    d.b,
+                    self.same_level_net.predict_with(&mut g, a).max(0.0),
+                )
+            })
             .collect();
 
         let mut spatial = Vec::with_capacity(dfg.edge_count());
@@ -182,14 +198,14 @@ impl Lisa {
                 neighbor_attrs: attrs.edge_neighborhood(dfg, e),
                 target: 0.0,
             };
-            let sp = self.spatial_net.predict(&ctx).max(0.0);
+            let sp = self.spatial_net.predict_with(&mut g, &ctx).max(0.0);
             // Physical consistency: a value moves at most one hop per
             // cycle, so the expected temporal distance can never be below
             // the expected spatial distance (extracted training labels
             // satisfy this by construction; predictions must too).
             let tp = self
                 .temporal_net
-                .predict(&attrs.edge[e.index()])
+                .predict_with(&mut g, &attrs.edge[e.index()])
                 .max(1.0)
                 .max(sp);
             spatial.push(sp);
@@ -302,24 +318,30 @@ fn evaluate_accuracy(
     temporal_net: &EdgeMlp,
     set: &TrainingSet,
 ) -> LabelAccuracy {
+    // Shared forward-only tape for the whole holdout sweep.
+    let mut graph = lisa_gnn::Graph::inference();
     let mut order_preds = Vec::new();
     let mut order_truths = Vec::new();
     for g in &set.node_graphs {
-        order_preds.extend(schedule_net.predict(g));
+        order_preds.extend(schedule_net.predict_with(&mut graph, g));
         order_truths.extend(g.targets.iter().copied());
     }
     let sl_preds: Vec<f64> = set
         .same_level
         .iter()
-        .map(|s| same_level_net.predict(&s.attrs))
+        .map(|s| same_level_net.predict_with(&mut graph, &s.attrs))
         .collect();
     let sl_truths: Vec<f64> = set.same_level.iter().map(|s| s.target).collect();
-    let sp_preds: Vec<f64> = set.spatial.iter().map(|s| spatial_net.predict(s)).collect();
+    let sp_preds: Vec<f64> = set
+        .spatial
+        .iter()
+        .map(|s| spatial_net.predict_with(&mut graph, s))
+        .collect();
     let sp_truths: Vec<f64> = set.spatial.iter().map(|s| s.target).collect();
     let tp_preds: Vec<f64> = set
         .temporal
         .iter()
-        .map(|s| temporal_net.predict(&s.attrs))
+        .map(|s| temporal_net.predict_with(&mut graph, &s.attrs))
         .collect();
     let tp_truths: Vec<f64> = set.temporal.iter().map(|s| s.target).collect();
 

@@ -44,7 +44,7 @@ mod params;
 mod tensor;
 mod train;
 
-pub use graph::{Graph, VarId};
-pub use params::{Adam, ParamId, ParamStore};
+pub use graph::{CsrAdjacency, Graph, VarId};
+pub use params::{Adam, ParamGrads, ParamId, ParamStore};
 pub use tensor::Tensor;
 pub use train::{TrainConfig, TrainReport};

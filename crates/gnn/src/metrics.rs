@@ -80,6 +80,11 @@ pub fn accuracy(kind: LabelKind, predictions: &[f64], truths: &[f64]) -> f64 {
 
 /// Mean squared error of a prediction set.
 ///
+/// Empty inputs return the sentinel 0.0 (a perfect score) rather than
+/// NaN, so callers aggregating per-benchmark metrics never propagate
+/// NaN through summary tables; check emptiness upstream when "no data"
+/// must be distinguished from "no error".
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
@@ -141,6 +146,8 @@ mod tests {
 
 /// Mean absolute error of a prediction set.
 ///
+/// Empty inputs return the sentinel 0.0, like [`mse`].
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
@@ -157,8 +164,12 @@ pub fn mae(predictions: &[f64], truths: &[f64]) -> f64 {
         / predictions.len() as f64
 }
 
-/// Coefficient of determination R² = 1 − SSE/SST. Degenerate targets
-/// (zero variance) yield 1.0 when predictions are exact, else 0.0.
+/// Coefficient of determination R² = 1 − SSE/SST.
+///
+/// Two degenerate cases get documented sentinels instead of NaN:
+/// empty inputs return 0.0 (no evidence of fit), and zero-variance
+/// targets (SST = 0, where R² is undefined) return 1.0 when the
+/// predictions are exact and 0.0 otherwise.
 ///
 /// # Panics
 ///
@@ -204,5 +215,19 @@ mod extended_tests {
     fn r_squared_degenerate_targets() {
         assert_eq!(r_squared(&[2.0, 2.0], &[2.0, 2.0]), 1.0);
         assert_eq!(r_squared(&[1.0, 3.0], &[2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_use_documented_sentinels() {
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(r_squared(&[], &[]), 0.0);
+        assert!(mse(&[], &[]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_length_mismatch_panics() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
     }
 }

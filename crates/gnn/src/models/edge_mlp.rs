@@ -6,9 +6,16 @@
 //! attributes. We use ReLU as the activation layer." A final 1-channel
 //! readout produces the scalar label value.
 
+use std::sync::Arc;
+
 use crate::dataset::EdgeSample;
 use crate::train::{run_training, TrainConfig, TrainReport};
 use crate::{Graph, ParamId, ParamStore, Tensor, VarId};
+
+/// Samples per micro-batch tape. Part of the numeric contract (fixed
+/// per model, never derived from the thread count) so parallel training
+/// stays bit-identical to sequential.
+const MICRO_BATCH: usize = 8;
 
 /// A two-layer perceptron over edge attributes with a scalar readout.
 ///
@@ -97,20 +104,40 @@ impl EdgeMlp {
         crate::io::load_store_from_text(&mut self.store, text)
     }
 
-    fn forward(&self, g: &mut Graph, store: &ParamStore, attrs: &[f64]) -> VarId {
-        assert_eq!(attrs.len(), self.attr_dim, "attribute dimension mismatch");
-        let x = g.input(Tensor::vector(attrs.to_vec()));
+    /// Column-stacks attribute vectors into an `attr_dim × B` batch
+    /// matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched attribute dimension.
+    fn attrs_matrix<'a>(&self, columns: impl ExactSizeIterator<Item = &'a [f64]>) -> Tensor {
+        let b = columns.len();
+        let mut data = vec![0.0; self.attr_dim * b];
+        for (j, attrs) in columns.enumerate() {
+            assert_eq!(attrs.len(), self.attr_dim, "attribute dimension mismatch");
+            for (r, &v) in attrs.iter().enumerate() {
+                data[r * b + j] = v;
+            }
+        }
+        Tensor::from_vec(self.attr_dim, b, data)
+    }
+
+    /// Batched forward over `B` column-stacked samples; returns the 1×B
+    /// prediction row. Column `j` is bit-identical to the historical
+    /// per-sample matvec chain for sample `j`.
+    fn forward(&self, g: &mut Graph, store: &ParamStore, x: Tensor) -> VarId {
+        let x = g.input(x);
         let w1 = g.param(store, self.w1);
         let b1 = g.param(store, self.b1);
-        let h = g.matvec(w1, x);
-        let h = g.add(h, b1);
+        let h = g.matmul(w1, x);
+        let h = g.add_cols(h, b1);
         let h = g.relu(h);
         let w2 = g.param(store, self.w2);
         let b2 = g.param(store, self.b2);
-        let h = g.matvec(w2, h);
-        let h = g.add(h, b2);
+        let h = g.matmul(w2, h);
+        let h = g.add_cols(h, b2);
         let r = g.param(store, self.readout);
-        g.matvec(r, h)
+        g.matmul(r, h)
     }
 
     /// Predicts the label value for one attribute vector.
@@ -119,18 +146,33 @@ impl EdgeMlp {
     ///
     /// Panics if the attribute dimension differs from construction.
     pub fn predict(&self, attrs: &[f64]) -> f64 {
-        let mut g = Graph::new();
-        let y = self.forward(&mut g, &self.store, attrs);
+        Graph::with_inference_tape(|g| self.predict_with(g, attrs))
+    }
+
+    /// Like [`Self::predict`], but reuses the caller's graph (reset
+    /// here), so repeated predictions share one tape arena.
+    pub fn predict_with(&self, g: &mut Graph, attrs: &[f64]) -> f64 {
+        g.reset();
+        let x = self.attrs_matrix(std::iter::once(attrs));
+        let y = self.forward(g, &self.store, x);
         g.value(y).item()
     }
 
     /// Trains on the samples with MSE loss.
     pub fn train(&mut self, samples: &[EdgeSample], config: &TrainConfig) -> TrainReport {
         let net = self.clone();
-        run_training(&mut self.store, samples.len(), config, |g, store, i| {
-            let y = net.forward(g, store, &samples[i].attrs);
-            g.squared_error(y, samples[i].target)
-        })
+        run_training(
+            &mut self.store,
+            samples.len(),
+            config,
+            MICRO_BATCH,
+            |g, store, unit| {
+                let x = net.attrs_matrix(unit.iter().map(|&i| samples[i].attrs.as_slice()));
+                let targets: Arc<[f64]> = unit.iter().map(|&i| samples[i].target).collect();
+                let p = net.forward(g, store, x);
+                g.row_squared_error(p, targets, 1.0)
+            },
+        )
     }
 }
 

@@ -9,9 +9,11 @@
 //! generalised to `hidden_dim` channels. A linear readout produces the
 //! scalar schedule order.
 
+use std::sync::Arc;
+
 use crate::dataset::NodeGraphSample;
 use crate::train::{run_training, TrainConfig, TrainReport};
-use crate::{Graph, ParamId, ParamStore, Tensor, VarId};
+use crate::{CsrAdjacency, Graph, ParamId, ParamStore, Tensor, VarId};
 
 /// Weights of one message-passing layer.
 #[derive(Debug, Clone, Copy)]
@@ -51,7 +53,6 @@ pub struct ScheduleOrderNet {
     layers: Vec<Layer>,
     readout: ParamId,
     attr_dim: usize,
-    hidden_dim: usize,
 }
 
 /// Number of message-passing layers ("a network consisting of four
@@ -86,7 +87,6 @@ impl ScheduleOrderNet {
             layers,
             readout,
             attr_dim,
-            hidden_dim,
         }
     }
 
@@ -116,51 +116,50 @@ impl ScheduleOrderNet {
         crate::io::load_store_from_text(&mut self.store, text)
     }
 
-    /// Builds the forward pass; returns one scalar var per node.
-    fn forward(&self, g: &mut Graph, store: &ParamStore, sample: &NodeGraphSample) -> Vec<VarId> {
+    /// Column-stacks the sample's node attributes into an
+    /// `attr_dim × n` batch matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent samples or mismatched attribute dimension.
+    fn sample_matrix(&self, sample: &NodeGraphSample) -> Tensor {
         assert!(sample.is_consistent(), "inconsistent sample");
         let n = sample.len();
+        let mut data = vec![0.0; self.attr_dim * n];
+        for (j, attrs) in sample.node_attrs.iter().enumerate() {
+            assert_eq!(attrs.len(), self.attr_dim, "attribute dimension mismatch");
+            for (r, &v) in attrs.iter().enumerate() {
+                data[r * n + j] = v;
+            }
+        }
+        Tensor::from_vec(self.attr_dim, n, data)
+    }
+
+    /// Builds the batched forward pass over all nodes at once; returns
+    /// the 1×n prediction row. Column `j` is bit-identical to the
+    /// historical per-node matvec/pool chain for node `j`.
+    fn forward(&self, g: &mut Graph, store: &ParamStore, x: Tensor, adj: &CsrAdjacency) -> VarId {
         let w0 = g.param(store, self.w0);
         let embed = g.param(store, self.embed);
-        let mut h: Vec<VarId> = Vec::with_capacity(n);
-        let mut m: Vec<VarId> = Vec::with_capacity(n);
-        for attrs in &sample.node_attrs {
-            assert_eq!(attrs.len(), self.attr_dim, "attribute dimension mismatch");
-            let x = g.input(Tensor::vector(attrs.clone()));
-            h.push(g.matvec(embed, x));
-            m.push(g.matvec(w0, x));
-        }
+        let x = g.input(x);
+        let mut h = g.matmul(embed, x);
+        let mut m = g.matmul(w0, x);
         for layer in &self.layers {
             let w1 = g.param(store, layer.w1);
             let w2 = g.param(store, layer.w2);
             let w3 = g.param(store, layer.w3);
-            let mut new_m = Vec::with_capacity(n);
-            let mut new_h = Vec::with_capacity(n);
-            for v in 0..n {
-                // Eq. 1: aggregate neighbour messages with three poolings.
-                let msgs: Vec<VarId> = sample.neighbors[v].iter().map(|&u| m[u]).collect();
-                let pooled = if msgs.is_empty() {
-                    // Isolated node: zero message.
-                    g.input(Tensor::zeros(3 * self.hidden_dim, 1))
-                } else {
-                    let mean = g.pool_mean(msgs.clone());
-                    let max = g.pool_max(msgs.clone());
-                    let min = g.pool_min(msgs);
-                    g.concat(vec![mean, max, min])
-                };
-                let mv = g.matvec(w1, pooled);
-                // Eq. 2: h' = W2 (W3 h + m').
-                let w3h = g.matvec(w3, h[v]);
-                let inner = g.add(w3h, mv);
-                let hv = g.matvec(w2, inner);
-                new_m.push(mv);
-                new_h.push(hv);
-            }
-            m = new_m;
-            h = new_h;
+            // Eq. 1: aggregate neighbour messages with the fused
+            // (mean, max, min) gather; isolated nodes get zero columns.
+            let pooled = g.gather_pool(m, adj);
+            let mv = g.matmul(w1, pooled);
+            // Eq. 2: h' = W2 (W3 h + m').
+            let w3h = g.matmul(w3, h);
+            let inner = g.add(w3h, mv);
+            h = g.matmul(w2, inner);
+            m = mv;
         }
         let r = g.param(store, self.readout);
-        h.into_iter().map(|hv| g.matvec(r, hv)).collect()
+        g.matmul(r, h)
     }
 
     /// Predicts the schedule order of every node.
@@ -169,26 +168,49 @@ impl ScheduleOrderNet {
     ///
     /// Panics on inconsistent samples or mismatched attribute dimension.
     pub fn predict(&self, sample: &NodeGraphSample) -> Vec<f64> {
-        let mut g = Graph::new();
-        let outs = self.forward(&mut g, &self.store, sample);
-        outs.into_iter().map(|v| g.value(v).item()).collect()
+        Graph::with_inference_tape(|g| self.predict_with(g, sample))
+    }
+
+    /// Like [`Self::predict`], but reuses the caller's graph (reset
+    /// here), so repeated predictions share one tape arena.
+    pub fn predict_with(&self, g: &mut Graph, sample: &NodeGraphSample) -> Vec<f64> {
+        g.reset();
+        let adj = CsrAdjacency::from_neighbors(&sample.neighbors);
+        let x = self.sample_matrix(sample);
+        let out = self.forward(g, &self.store, x, &adj);
+        g.value(out).data().to_vec()
     }
 
     /// Trains on graph samples; the per-sample loss is the mean squared
     /// error over that sample's nodes.
     pub fn train(&mut self, samples: &[NodeGraphSample], config: &TrainConfig) -> TrainReport {
         let net = self.clone();
-        run_training(&mut self.store, samples.len(), config, |g, store, i| {
-            let outs = net.forward(g, store, &samples[i]);
-            let errs: Vec<VarId> = outs
-                .iter()
-                .zip(&samples[i].targets)
-                .map(|(&o, &t)| g.squared_error(o, t))
-                .collect();
-            let sum = g.pool_sum(errs);
-            let k = g.input(Tensor::scalar(1.0 / samples[i].len().max(1) as f64));
-            g.scale(k, sum)
-        })
+        // Per-sample batch matrices, CSR adjacencies, and targets are
+        // shuffle-invariant: build them once, share across epochs (and
+        // worker threads — CSR rows and targets are Arc-backed).
+        let prepared: Vec<(Tensor, CsrAdjacency, Arc<[f64]>, f64)> = samples
+            .iter()
+            .map(|s| {
+                (
+                    net.sample_matrix(s),
+                    CsrAdjacency::from_neighbors(&s.neighbors),
+                    s.targets.clone().into(),
+                    1.0 / s.len().max(1) as f64,
+                )
+            })
+            .collect();
+        // Micro-batch of 1: batching is across the nodes within a sample.
+        run_training(
+            &mut self.store,
+            samples.len(),
+            config,
+            1,
+            |g, store, unit| {
+                let (x, adj, targets, inv_n) = &prepared[unit[0]];
+                let p = net.forward(g, store, x.clone(), adj);
+                g.row_squared_error(p, targets.clone(), *inv_n)
+            },
+        )
     }
 }
 

@@ -11,9 +11,16 @@
 //! projected to a scalar by `Wν`, which then scales `W3 h¹`. A final
 //! linear readout produces the scalar distance.
 
+use std::sync::Arc;
+
 use crate::dataset::ContextEdgeSample;
 use crate::train::{run_training, TrainConfig, TrainReport};
 use crate::{Graph, ParamId, ParamStore, Tensor, VarId};
+
+/// Samples per micro-batch tape. Part of the numeric contract (fixed
+/// per model, never derived from the thread count) so parallel training
+/// stays bit-identical to sequential.
+const MICRO_BATCH: usize = 8;
 
 /// The edge-level network with neighbourhood normalisation.
 ///
@@ -93,52 +100,68 @@ impl SpatialNet {
         crate::io::load_store_from_text(&mut self.store, text)
     }
 
-    fn forward(&self, g: &mut Graph, store: &ParamStore, sample: &ContextEdgeSample) -> VarId {
-        assert_eq!(
-            sample.attrs.len(),
-            self.attr_dim,
-            "attribute dimension mismatch"
-        );
-        // Eq. 4.
-        let x = g.input(Tensor::vector(sample.attrs.clone()));
-        let w1 = g.param(store, self.w1);
-        let h1 = g.matvec(w1, x);
+    /// Eq. 5 for one sample: the learnt scalar gate over the reciprocal
+    /// neighbourhood aggregates (1 for an empty neighbourhood).
+    fn nu_scalar(&self, g: &mut Graph, store: &ParamStore, sample: &ContextEdgeSample) -> VarId {
+        if sample.neighbor_attrs.is_empty() {
+            return g.input(Tensor::scalar(1.0));
+        }
+        let vars: Vec<VarId> = sample
+            .neighbor_attrs
+            .iter()
+            .map(|a| {
+                assert_eq!(a.len(), self.attr_dim, "neighbour dimension mismatch");
+                g.input(Tensor::vector(a.clone()))
+            })
+            .collect();
+        let mean = g.pool_mean(vars.clone());
+        let sum = g.pool_sum(vars.clone());
+        let max = g.pool_max(vars.clone());
+        let min = g.pool_min(vars);
+        let rm = g.recip(mean);
+        let rs = g.recip(sum);
+        let rx = g.recip(max);
+        let rn = g.recip(min);
+        let cat = g.concat(vec![rm, rs, rx, rn]);
+        let w_nu = g.param(store, self.w_nu);
+        g.matvec(w_nu, cat)
+    }
 
-        // Eq. 5: reciprocal aggregates over connected-edge attributes.
-        let nu = if sample.neighbor_attrs.is_empty() {
-            g.input(Tensor::scalar(1.0))
-        } else {
-            let vars: Vec<VarId> = sample
-                .neighbor_attrs
-                .iter()
-                .map(|a| {
-                    assert_eq!(a.len(), self.attr_dim, "neighbour dimension mismatch");
-                    g.input(Tensor::vector(a.clone()))
-                })
-                .collect();
-            let mean = g.pool_mean(vars.clone());
-            let sum = g.pool_sum(vars.clone());
-            let max = g.pool_max(vars.clone());
-            let min = g.pool_min(vars);
-            let rm = g.recip(mean);
-            let rs = g.recip(sum);
-            let rx = g.recip(max);
-            let rn = g.recip(min);
-            let cat = g.concat(vec![rm, rs, rx, rn]);
-            let w_nu = g.param(store, self.w_nu);
-            g.matvec(w_nu, cat)
-        };
+    /// Batched forward over `B` samples; returns the 1×B prediction row.
+    /// Column `j` is bit-identical to the historical per-sample
+    /// matvec/scale chain for sample `j` — the ν gates are still built
+    /// per sample (neighbourhoods are ragged) and gathered into one
+    /// column vector that gates `W3 H¹` via `scale_cols`.
+    fn forward(&self, g: &mut Graph, store: &ParamStore, samples: &[&ContextEdgeSample]) -> VarId {
+        // Eq. 4, batched.
+        let mut data = vec![0.0; self.attr_dim * samples.len()];
+        for (j, s) in samples.iter().enumerate() {
+            assert_eq!(s.attrs.len(), self.attr_dim, "attribute dimension mismatch");
+            for (r, &v) in s.attrs.iter().enumerate() {
+                data[r * samples.len() + j] = v;
+            }
+        }
+        let x = g.input(Tensor::from_vec(self.attr_dim, samples.len(), data));
+        let w1 = g.param(store, self.w1);
+        let h1 = g.matmul(w1, x);
+
+        // Eq. 5: one scalar gate per sample, stacked into a B×1 column.
+        let nus: Vec<VarId> = samples
+            .iter()
+            .map(|s| self.nu_scalar(g, store, s))
+            .collect();
+        let nu = g.concat(nus);
 
         // Eq. 6: h² = W2 h¹ + ν · (W3 h¹).
         let w2 = g.param(store, self.w2);
         let w3 = g.param(store, self.w3);
-        let a = g.matvec(w2, h1);
-        let b = g.matvec(w3, h1);
-        let gated = g.scale(nu, b);
+        let a = g.matmul(w2, h1);
+        let b = g.matmul(w3, h1);
+        let gated = g.scale_cols(nu, b);
         let h2 = g.add(a, gated);
 
         let r = g.param(store, self.readout);
-        g.matvec(r, h2)
+        g.matmul(r, h2)
     }
 
     /// Predicts the spatial mapping distance of one edge.
@@ -147,18 +170,33 @@ impl SpatialNet {
     ///
     /// Panics on mismatched attribute dimensions.
     pub fn predict(&self, sample: &ContextEdgeSample) -> f64 {
-        let mut g = Graph::new();
-        let y = self.forward(&mut g, &self.store, sample);
+        Graph::with_inference_tape(|g| self.predict_with(g, sample))
+    }
+
+    /// Like [`Self::predict`], but reuses the caller's graph (reset
+    /// here), so repeated predictions share one tape arena.
+    pub fn predict_with(&self, g: &mut Graph, sample: &ContextEdgeSample) -> f64 {
+        g.reset();
+        let y = self.forward(g, &self.store, &[sample]);
         g.value(y).item()
     }
 
     /// Trains on the samples with MSE loss.
     pub fn train(&mut self, samples: &[ContextEdgeSample], config: &TrainConfig) -> TrainReport {
         let net = self.clone();
-        run_training(&mut self.store, samples.len(), config, |g, store, i| {
-            let y = net.forward(g, store, &samples[i]);
-            g.squared_error(y, samples[i].target)
-        })
+        run_training(
+            &mut self.store,
+            samples.len(),
+            config,
+            MICRO_BATCH,
+            |g, store, unit| {
+                let unit_samples: Vec<&ContextEdgeSample> =
+                    unit.iter().map(|&i| &samples[i]).collect();
+                let targets: Arc<[f64]> = unit.iter().map(|&i| samples[i].target).collect();
+                let p = net.forward(g, store, &unit_samples);
+                g.row_squared_error(p, targets, 1.0)
+            },
+        )
     }
 }
 

@@ -22,6 +22,54 @@ pub(crate) fn param_id_for_io(index: usize) -> ParamId {
     ParamId(index)
 }
 
+/// A detached set of per-parameter gradient accumulators, shaped like a
+/// [`ParamStore`]'s parameters.
+///
+/// The deterministic parallel trainer gives every micro-batch unit one of
+/// these as its backward sink ([`crate::Graph::backward_into`]), then
+/// reduces the sinks into the store in ascending unit order — a fixed
+/// summation tree independent of how many worker threads produced them,
+/// which is what keeps parallel training bit-identical to sequential.
+#[derive(Debug, Clone, Default)]
+pub struct ParamGrads {
+    grads: Vec<Tensor>,
+}
+
+impl ParamGrads {
+    /// Creates zeroed accumulators matching the store's parameter shapes.
+    pub fn zeros_like(store: &ParamStore) -> Self {
+        ParamGrads {
+            grads: store
+                .values
+                .iter()
+                .map(|v| Tensor::zeros(v.rows(), v.cols()))
+                .collect(),
+        }
+    }
+
+    /// Re-zeroes in place (allocating only if the store grew), so a
+    /// long-lived sink is reused across batches without reallocation.
+    pub fn reset_like(&mut self, store: &ParamStore) {
+        if self.grads.len() != store.values.len() {
+            *self = ParamGrads::zeros_like(store);
+            return;
+        }
+        for (g, v) in self.grads.iter_mut().zip(&store.values) {
+            g.reset_zeroed(v.rows(), v.cols());
+        }
+    }
+
+    /// The accumulated gradient of one parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Adds to one parameter's accumulator (called by backward).
+    pub(crate) fn accumulate(&mut self, id: ParamId, delta: &Tensor) {
+        self.grads[id.0].add_assign(delta);
+    }
+}
+
 /// Owns every learnable tensor of a model, its gradient accumulator, and
 /// the Adam moment estimates.
 #[derive(Debug, Clone)]
@@ -97,10 +145,24 @@ impl ParamStore {
         self.values[id.0] = value;
     }
 
+    /// Adds a detached gradient sink into the store's accumulators (the
+    /// ordered-reduction step of the parallel trainer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` was shaped for a different store.
+    pub fn add_grads(&mut self, other: &ParamGrads) {
+        assert_eq!(self.grads.len(), other.grads.len(), "param count mismatch");
+        for (g, o) in self.grads.iter_mut().zip(&other.grads) {
+            g.add_assign(o);
+        }
+    }
+
     /// Clears all gradient accumulators.
     pub fn zero_grads(&mut self) {
         for g in &mut self.grads {
-            *g = Tensor::zeros(g.rows(), g.cols());
+            let (r, c) = (g.rows(), g.cols());
+            g.reset_zeroed(r, c);
         }
     }
 

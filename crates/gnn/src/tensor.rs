@@ -79,6 +79,21 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consumes the tensor, returning its backing buffer (for the tape
+    /// arena's buffer recycling).
+    pub(crate) fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reshapes in place to a zero-filled `rows × cols`, reusing the
+    /// existing allocation when its capacity suffices.
+    pub(crate) fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Element access.
     ///
     /// # Panics
@@ -111,6 +126,12 @@ impl Tensor {
 
     /// Matrix × column-vector product.
     ///
+    /// The inner loops run on iterators (`chunks_exact`/`zip`) rather than
+    /// indexed accesses so the optimiser can elide bounds checks; the
+    /// accumulation order is unchanged, so results are bit-identical to
+    /// the historical indexed implementation (pinned by the golden-value
+    /// tests below).
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols != x.rows` or `x` is not a column vector.
@@ -118,15 +139,123 @@ impl Tensor {
         assert_eq!(x.cols, 1, "matvec rhs must be a column vector");
         assert_eq!(self.cols, x.rows, "matvec shape mismatch");
         let mut out = Tensor::zeros(self.rows, 1);
-        for r in 0..self.rows {
+        for (row, o) in self.data.chunks_exact(self.cols).zip(&mut out.data) {
             let mut acc = 0.0;
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for (a, b) in row.iter().zip(&x.data) {
                 acc += a * b;
             }
-            out.data[r] = acc;
+            *o = acc;
         }
         out
+    }
+
+    /// Matrix × matrix product: `self (m×k) · other (k×n) → m×n`.
+    ///
+    /// Column `j` of the result is bit-identical to
+    /// `self.matvec(other.column(j))`: the reduction over `k` runs in the
+    /// same ascending order, so batching N column vectors into one matrix
+    /// never changes a numeric result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        matmul_kernel(
+            &self.data,
+            &other.data,
+            (self.rows, self.cols, other.cols),
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Transposed product `self^T (m×k from k×m) · other (k×n) → m×n`.
+    ///
+    /// Column `j` matches `self.t_matvec(other.column(j))` bit-for-bit
+    /// (reduction over the shared `k` dimension in ascending row order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        out.t_matmul_acc(self, other);
+        out
+    }
+
+    /// Product with a transposed right operand:
+    /// `self (m×k) · other^T (k×n from n×k) → m×n`. This is the shape of
+    /// the weight gradient of a batched product (`dW = G · Xᵀ`): entry
+    /// `(r, c)` reduces over the batch dimension in ascending order — the
+    /// same order in which the sequential per-sample loop accumulated its
+    /// outer products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        out.matmul_t_acc(self, other);
+        out
+    }
+
+    /// Accumulates `self += a · bᵀ` (see [`Self::matmul_t`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_t_acc(&mut self, a: &Tensor, b: &Tensor) {
+        assert_eq!(a.cols, b.cols, "matmul_t shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (a.rows, b.rows),
+            "matmul_t output shape mismatch"
+        );
+        for (a_row, out_row) in a
+            .data
+            .chunks_exact(a.cols.max(1))
+            .zip(self.data.chunks_exact_mut(self.cols.max(1)))
+        {
+            for (b_row, o) in b.data.chunks_exact(b.cols.max(1)).zip(out_row) {
+                let mut acc = 0.0;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *o += acc;
+            }
+        }
+    }
+
+    /// Accumulates `self += aᵀ · b` (see [`Self::t_matmul`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn t_matmul_acc(&mut self, a: &Tensor, b: &Tensor) {
+        assert_eq!(a.rows, b.rows, "t_matmul shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (a.cols, b.cols),
+            "t_matmul output shape mismatch"
+        );
+        for (a_row, b_row) in a
+            .data
+            .chunks_exact(a.cols.max(1))
+            .zip(b.data.chunks_exact(b.cols.max(1)))
+        {
+            for (&av, out_row) in a_row
+                .iter()
+                .zip(self.data.chunks_exact_mut(self.cols.max(1)))
+            {
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
     }
 
     /// Elementwise sum. Panics on shape mismatch.
@@ -167,6 +296,9 @@ impl Tensor {
 
     /// Outer product of two column vectors: `self * other^T`.
     ///
+    /// Iterator-based like [`Self::matvec`]; each product is written once,
+    /// so there is no accumulation order to preserve.
+    ///
     /// # Panics
     ///
     /// Panics unless both are column vectors.
@@ -174,15 +306,23 @@ impl Tensor {
         assert_eq!(self.cols, 1, "outer lhs must be a column vector");
         assert_eq!(other.cols, 1, "outer rhs must be a column vector");
         let mut out = Tensor::zeros(self.rows, other.rows);
-        for r in 0..self.rows {
-            for c in 0..other.rows {
-                out.data[r * other.rows + c] = self.data[r] * other.data[c];
+        for (&a, out_row) in self
+            .data
+            .iter()
+            .zip(out.data.chunks_exact_mut(other.rows.max(1)))
+        {
+            for (o, &b) in out_row.iter_mut().zip(&other.data) {
+                *o = a * b;
             }
         }
         out
     }
 
     /// Transposed matrix × column-vector product: `self^T * x`.
+    ///
+    /// Accumulates over rows of `self` in ascending order, exactly like
+    /// the historical indexed implementation (golden-value tests pin
+    /// this), with the inner loops on iterators to drop bounds checks.
     ///
     /// # Panics
     ///
@@ -191,13 +331,29 @@ impl Tensor {
         assert_eq!(x.cols, 1, "t_matvec rhs must be a column vector");
         assert_eq!(self.rows, x.rows, "t_matvec shape mismatch");
         let mut out = Tensor::zeros(self.cols, 1);
-        for r in 0..self.rows {
-            let xv = x.data[r];
-            for c in 0..self.cols {
-                out.data[c] += self.data[r * self.cols + c] * xv;
+        for (row, &xv) in self.data.chunks_exact(self.cols.max(1)).zip(&x.data) {
+            for (o, &a) in out.data.iter_mut().zip(row) {
+                *o += a * xv;
             }
         }
         out
+    }
+
+    /// Copies column `j` out as a fresh column vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols`.
+    pub fn column(&self, j: usize) -> Tensor {
+        assert!(j < self.cols, "column index out of range");
+        let data = self
+            .data
+            .iter()
+            .skip(j)
+            .step_by(self.cols)
+            .copied()
+            .collect();
+        Tensor::vector(data)
     }
 
     /// Sum of all elements.
@@ -225,6 +381,28 @@ impl Tensor {
                 .zip(&other.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
+        }
+    }
+}
+
+/// The shared `m×k · k×n` kernel behind [`Tensor::matmul`], operating on
+/// raw buffers so the tape arena can target recycled allocations.
+///
+/// `out` must hold `m * n` zeros (or a partial sum to accumulate onto).
+/// The loop nest is row/inner/column (`ikj`): each `out[r, j]` receives
+/// its `k` partial products in ascending-`i` order — the same floating
+/// point addition sequence as `matvec`'s scalar accumulator, which is
+/// what makes batched and per-column results bit-identical.
+pub(crate) fn matmul_kernel(a: &[f64], b: &[f64], dims: (usize, usize, usize), out: &mut [f64]) {
+    let (m, k, n) = dims;
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for (a_row, out_row) in a.chunks_exact(k.max(1)).zip(out.chunks_exact_mut(n.max(1))) {
+        for (&av, b_row) in a_row.iter().zip(b.chunks_exact(n.max(1))) {
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
         }
     }
 }
@@ -302,5 +480,134 @@ mod tests {
         let a = Tensor::vector(vec![3.0, 4.0]);
         assert_eq!(a.sum(), 7.0);
         assert!((a.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_extracts() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.column(0).data(), &[1.0, 4.0]);
+        assert_eq!(a.column(2).data(), &[3.0, 6.0]);
+    }
+
+    /// Golden values for the iterator-ized kernels: irrational-ish inputs
+    /// computed once with the historical indexed loops. Exact `==`
+    /// comparison pins both the result and the accumulation order.
+    #[test]
+    fn matvec_golden_values() {
+        let a = Tensor::from_vec(3, 3, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]);
+        let x = Tensor::vector(vec![1.5, -2.5, 3.5]);
+        let y = a.matvec(&x);
+        assert_eq!(
+            y.data(),
+            &[
+                0.1 * 1.5 + 0.2 * -2.5 + 0.3 * 3.5,
+                0.4 * 1.5 + 0.5 * -2.5 + 0.6 * 3.5,
+                0.7 * 1.5 + 0.8 * -2.5 + 0.9 * 3.5,
+            ]
+        );
+        // Literal golden doubles (captured from the pre-refactor engine).
+        assert_eq!(
+            y.data(),
+            &[
+                0.700_000_000_000_000_1,
+                1.450_000_000_000_000_2,
+                2.199_999_999_999_999_7
+            ]
+        );
+    }
+
+    #[test]
+    fn t_matvec_golden_values() {
+        let a = Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        let x = Tensor::vector(vec![1.1, -0.7, 2.3]);
+        let out = a.t_matvec(&x);
+        // Ascending-row accumulation: (0 + a00*x0) + a10*x1 + a20*x2.
+        assert_eq!(
+            out.data(),
+            &[
+                0.1 * 1.1 + 0.3 * -0.7 + 0.5 * 2.3,
+                0.2 * 1.1 + 0.4 * -0.7 + 0.6 * 2.3,
+            ]
+        );
+        assert_eq!(
+            out.data(),
+            &[1.049_999_999_999_999_8, 1.319_999_999_999_999_8]
+        );
+    }
+
+    #[test]
+    fn outer_golden_values() {
+        let a = Tensor::vector(vec![0.3, -1.7]);
+        let b = Tensor::vector(vec![2.1, 0.9, -0.4]);
+        let o = a.outer(&b);
+        assert_eq!(
+            o.data(),
+            &[
+                0.3 * 2.1,
+                0.3 * 0.9,
+                0.3 * -0.4,
+                -1.7 * 2.1,
+                -1.7 * 0.9,
+                -1.7 * -0.4
+            ]
+        );
+    }
+
+    #[test]
+    fn matmul_matches_per_column_matvec_bitwise() {
+        let a = Tensor::from_vec(3, 4, (0..12).map(|i| 0.1 + f64::from(i) * 0.37).collect());
+        let b = Tensor::from_vec(4, 5, (0..20).map(|i| -1.3 + f64::from(i) * 0.21).collect());
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.cols(), 5);
+        for j in 0..b.cols() {
+            let col = a.matvec(&b.column(j));
+            // Exact equality: batching must not change any bit.
+            assert_eq!(c.column(j).data(), col.data());
+        }
+    }
+
+    #[test]
+    fn t_matmul_matches_per_column_t_matvec_bitwise() {
+        let a = Tensor::from_vec(4, 3, (0..12).map(|i| 0.05 - f64::from(i) * 0.13).collect());
+        let b = Tensor::from_vec(4, 2, (0..8).map(|i| 0.9 + f64::from(i) * 0.61).collect());
+        let c = a.t_matmul(&b);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.cols(), 2);
+        for j in 0..b.cols() {
+            let col = a.t_matvec(&b.column(j));
+            assert_eq!(c.column(j).data(), col.data());
+        }
+    }
+
+    #[test]
+    fn matmul_t_matches_accumulated_outer_bitwise() {
+        // dW = G · Xᵀ must equal the sequential per-sample
+        // `acc += g_j.outer(x_j)` accumulation, bit for bit.
+        let g = Tensor::from_vec(2, 3, (0..6).map(|i| 0.2 + f64::from(i) * 0.71).collect());
+        let x = Tensor::from_vec(4, 3, (0..12).map(|i| -0.4 + f64::from(i) * 0.29).collect());
+        let batched = g.matmul_t(&x);
+        let mut acc = Tensor::zeros(2, 4);
+        for j in 0..3 {
+            acc.add_assign(&g.column(j).outer(&x.column(j)));
+        }
+        assert_eq!(batched.data(), acc.data());
+    }
+
+    #[test]
+    fn matmul_kernel_accumulates_onto_partial_sums() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let mut out = vec![1.0; 4];
+        matmul_kernel(a.data(), b.data(), (2, 2, 2), &mut out);
+        assert_eq!(out, vec![20.0, 23.0, 44.0, 51.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
     }
 }

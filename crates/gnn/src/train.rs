@@ -1,8 +1,17 @@
-//! Shared training configuration and loop helpers.
+//! Shared training configuration and the deterministic minibatch loop.
+//!
+//! Each shuffled batch is split into fixed-size **micro-batch units**
+//! (the unit size is a property of the model, not of the thread count).
+//! Every unit builds one forward/backward pass into its own detached
+//! [`ParamGrads`] sink, and the sinks are reduced into the store in
+//! ascending unit order. Because the unit boundaries and the reduction
+//! order are both independent of `parallelism`, training with any number
+//! of worker threads produces bit-identical weights to the sequential
+//! loop (pinned by tests here and in `tests/determinism.rs`).
 
 use lisa_rng::Rng;
 
-use crate::{Adam, Graph, ParamStore, VarId};
+use crate::{Adam, Graph, ParamGrads, ParamStore, VarId};
 
 /// Hyperparameters of a training run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,6 +26,9 @@ pub struct TrainConfig {
     pub weight_decay: f64,
     /// Seed for epoch shuffling.
     pub shuffle_seed: u64,
+    /// Worker threads for gradient computation (min 1). Any value
+    /// produces bit-identical weights: only wall-clock changes.
+    pub parallelism: usize,
 }
 
 impl TrainConfig {
@@ -28,6 +40,7 @@ impl TrainConfig {
             lr: 1e-3,
             weight_decay: 5e-4,
             shuffle_seed: 0,
+            parallelism: 1,
         }
     }
 
@@ -68,37 +81,56 @@ impl TrainReport {
     }
 }
 
-/// Generic minibatch loop: `loss_fn(graph, store, sample_index)` must build
-/// the forward pass for one sample and return its scalar loss var.
+/// Generic minibatch loop: `loss_fn(graph, store, unit)` must build the
+/// batched forward pass for the unit's samples and return the **sum** of
+/// their losses as a scalar var (gradients are averaged over the full
+/// batch here, exactly as the historical per-sample loop did).
 ///
-/// Loss gradients are averaged within each batch; one Adam step runs per
-/// batch.
+/// `micro_batch` fixes how many samples share one tape; it is part of the
+/// numeric contract (like `batch_size`) and must not depend on
+/// `config.parallelism`. One Adam step runs per batch.
 pub(crate) fn run_training(
     store: &mut ParamStore,
     sample_count: usize,
     config: &TrainConfig,
-    mut loss_fn: impl FnMut(&mut Graph, &ParamStore, usize) -> VarId,
+    micro_batch: usize,
+    loss_fn: impl Fn(&mut Graph, &ParamStore, &[usize]) -> VarId + Sync,
 ) -> TrainReport {
+    let micro = micro_batch.max(1);
+    let workers = config.parallelism.max(1);
     let mut adam = Adam::new(config.lr, config.weight_decay);
     let mut rng = Rng::seed_from_u64(config.shuffle_seed);
     let mut order: Vec<usize> = (0..sample_count).collect();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
+    // One tape for the whole run: reset() keeps its buffers.
+    let mut seq_graph = Graph::new();
     for _ in 0..config.epochs {
         rng.shuffle(&mut order);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size.max(1)) {
             store.zero_grads();
-            let mut batch_graphs = Vec::with_capacity(batch.len());
-            for &i in batch {
-                let mut g = Graph::new();
-                let loss = loss_fn(&mut g, store, i);
-                epoch_loss += g.value(loss).item();
-                batch_graphs.push((g, loss));
+            let units: Vec<&[usize]> = batch.chunks(micro).collect();
+            let mut sinks: Vec<ParamGrads> = units
+                .iter()
+                .map(|_| ParamGrads::zeros_like(store))
+                .collect();
+            let mut losses = vec![0.0; units.len()];
+            if workers > 1 && units.len() > 1 {
+                run_units_parallel(store, &loss_fn, &units, &mut sinks, &mut losses, workers);
+            } else {
+                for ((unit, sink), loss_out) in units.iter().zip(&mut sinks).zip(&mut losses) {
+                    seq_graph.reset();
+                    let loss = loss_fn(&mut seq_graph, store, unit);
+                    *loss_out = seq_graph.value(loss).item();
+                    seq_graph.backward_into(loss, sink);
+                }
             }
-            // Average gradients over the batch by scaling each sample's
-            // contribution (backward of a pre-scaled loss).
-            for (g, loss) in &batch_graphs {
-                g.backward(*loss, store);
+            // Ordered reduction: ascending unit index, regardless of
+            // which worker produced each sink — the canonical summation
+            // tree that makes parallel and sequential runs bit-identical.
+            for (sink, loss) in sinks.iter().zip(&losses) {
+                store.add_grads(sink);
+                epoch_loss += loss;
             }
             store.scale_grads(1.0 / batch.len() as f64);
             adam.step(store);
@@ -108,13 +140,43 @@ pub(crate) fn run_training(
     TrainReport { epoch_losses }
 }
 
+/// Fans a batch's units out over scoped worker threads, each with its own
+/// reusable tape, writing into disjoint contiguous slices of the
+/// per-unit sinks. No worker ever touches the store or another worker's
+/// sink, so the result is identical to running the units sequentially.
+fn run_units_parallel(
+    store: &ParamStore,
+    loss_fn: &(impl Fn(&mut Graph, &ParamStore, &[usize]) -> VarId + Sync),
+    units: &[&[usize]],
+    sinks: &mut [ParamGrads],
+    losses: &mut [f64],
+    workers: usize,
+) {
+    let per = units.len().div_ceil(workers.min(units.len()));
+    std::thread::scope(|scope| {
+        let mut start = 0;
+        for (sink_chunk, loss_chunk) in sinks.chunks_mut(per).zip(losses.chunks_mut(per)) {
+            let unit_chunk = &units[start..start + sink_chunk.len()];
+            start += sink_chunk.len();
+            scope.spawn(move || {
+                let mut g = Graph::new();
+                for ((unit, sink), loss_out) in unit_chunk.iter().zip(sink_chunk).zip(loss_chunk) {
+                    g.reset();
+                    let loss = loss_fn(&mut g, store, unit);
+                    *loss_out = g.value(loss).item();
+                    g.backward_into(loss, sink);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Tensor;
 
-    #[test]
-    fn training_fits_a_linear_map() {
+    fn linear_fit(cfg: &TrainConfig) -> (ParamStore, TrainReport) {
         // Learn y = 2a - b from samples.
         let mut store = ParamStore::new(0);
         let w = store.alloc(1, 2);
@@ -125,24 +187,59 @@ mod tests {
                 (vec![a, b], 2.0 * a - b)
             })
             .collect();
+        let report = run_training(&mut store, data.len(), cfg, 1, |g, s, unit| {
+            let i = unit[0];
+            let wv = g.param(s, w);
+            let x = g.input(Tensor::vector(data[i].0.clone()));
+            let y = g.matvec(wv, x);
+            g.squared_error(y, data[i].1)
+        });
+        (store, report)
+    }
+
+    #[test]
+    fn training_fits_a_linear_map() {
         let cfg = TrainConfig {
             epochs: 300,
             batch_size: 8,
             lr: 0.02,
             weight_decay: 0.0,
             shuffle_seed: 1,
+            parallelism: 1,
         };
-        let report = run_training(&mut store, data.len(), &cfg, |g, s, i| {
-            let wv = g.param(s, w);
-            let x = g.input(Tensor::vector(data[i].0.clone()));
-            let y = g.matvec(wv, x);
-            g.squared_error(y, data[i].1)
-        });
+        let (store, report) = linear_fit(&cfg);
         assert!(report.improved());
         assert!(report.final_loss() < 1e-3, "loss {}", report.final_loss());
-        let weights = store.value(w).data();
+        let weights = store.value(crate::params::param_id_for_io(0)).data();
         assert!((weights[0] - 2.0).abs() < 0.05);
         assert!((weights[1] + 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_to_sequential() {
+        let base = TrainConfig {
+            epochs: 40,
+            batch_size: 8,
+            lr: 0.02,
+            weight_decay: 1e-4,
+            shuffle_seed: 3,
+            parallelism: 1,
+        };
+        let (seq, seq_report) = linear_fit(&base);
+        for workers in [2, 3, 8] {
+            let cfg = TrainConfig {
+                parallelism: workers,
+                ..base
+            };
+            let (par, par_report) = linear_fit(&cfg);
+            let id = crate::params::param_id_for_io(0);
+            assert_eq!(
+                seq.value(id).data(),
+                par.value(id).data(),
+                "weights diverged at parallelism {workers}"
+            );
+            assert_eq!(seq_report, par_report, "losses diverged at {workers}");
+        }
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Parallel training must be bit-identical to sequential training.
+//!
+//! The trainer splits each batch into fixed micro-batch units and
+//! reduces the per-unit gradient sinks in ascending unit order, so the
+//! floating-point summation tree never depends on the worker count.
+//! These tests pin that contract end-to-end for all three models by
+//! comparing the byte-exact serialised weights.
+
+use lisa_gnn::dataset::{ContextEdgeSample, EdgeSample, NodeGraphSample};
+use lisa_gnn::models::{EdgeMlp, ScheduleOrderNet, SpatialNet};
+use lisa_gnn::TrainConfig;
+
+fn config(parallelism: usize) -> TrainConfig {
+    TrainConfig {
+        epochs: 25,
+        batch_size: 16,
+        shuffle_seed: 5,
+        parallelism,
+        ..TrainConfig::paper()
+    }
+}
+
+#[test]
+fn edge_mlp_parallel_weights_are_byte_identical() {
+    let samples: Vec<EdgeSample> = (0..48)
+        .map(|i| EdgeSample {
+            attrs: vec![f64::from(i % 5), f64::from(i % 3), 0.25 * f64::from(i % 7)],
+            target: f64::from(i % 4),
+        })
+        .collect();
+    let mut seq = EdgeMlp::new(3, 2);
+    seq.train(&samples, &config(1));
+    let mut par = EdgeMlp::new(3, 2);
+    par.train(&samples, &config(4));
+    assert_eq!(seq.export_weights(), par.export_weights());
+}
+
+#[test]
+fn schedule_order_parallel_weights_are_byte_identical() {
+    let samples: Vec<NodeGraphSample> = (0..24)
+        .map(|c| {
+            let n = 3 + c % 4;
+            let node_attrs = (0..n)
+                .map(|i| vec![i as f64, 1.0, (n - i) as f64])
+                .collect();
+            let mut neighbors = vec![Vec::new(); n];
+            for i in 0..n - 1 {
+                neighbors[i].push(i + 1);
+                neighbors[i + 1].push(i);
+            }
+            NodeGraphSample {
+                node_attrs,
+                neighbors,
+                targets: (0..n).map(|i| i as f64).collect(),
+            }
+        })
+        .collect();
+    let mut seq = ScheduleOrderNet::new(3, 2);
+    seq.train(&samples, &config(1));
+    let mut par = ScheduleOrderNet::new(3, 2);
+    par.train(&samples, &config(4));
+    assert_eq!(seq.export_weights(), par.export_weights());
+}
+
+#[test]
+fn spatial_parallel_weights_are_byte_identical() {
+    let samples: Vec<ContextEdgeSample> = (0..36)
+        .map(|i| {
+            let a = f64::from((i % 4) as u32) + 0.5;
+            let neighbor_attrs = (0..i % 4).map(|k| vec![a + k as f64, 1.0]).collect();
+            ContextEdgeSample {
+                attrs: vec![a, f64::from((i % 3) as u32)],
+                neighbor_attrs,
+                target: f64::from((i % 5) as u32),
+            }
+        })
+        .collect();
+    let mut seq = SpatialNet::new(2, 2);
+    seq.train(&samples, &config(1));
+    let mut par = SpatialNet::new(2, 2);
+    par.train(&samples, &config(4));
+    assert_eq!(seq.export_weights(), par.export_weights());
+}

@@ -9,10 +9,10 @@ cargo fmt --check
 cargo build --release --offline
 cargo test -q --offline
 
-# Bench smoke: run the mapping micro-benches once each (heavy tier is
-# skipped), which writes target/bench/BENCH_mapping.json; bench_check
-# fails if the file is missing, malformed, or lacks the required
-# movement/portfolio entries.
+# Bench smoke: run the micro-benches once each (heavy tier is skipped),
+# which writes target/bench/BENCH_<suite>.json; bench_check fails if
+# BENCH_mapping.json or BENCH_gnn.json is missing, malformed, or lacks
+# the required movement/portfolio/GNN entries.
 cargo test -q --offline -p lisa-bench --benches
 cargo run -q --offline -p lisa-bench --bin bench_check
 
