@@ -2,11 +2,11 @@
 //!
 //! `scripts/verify.sh` runs the bench targets in smoke mode (via `cargo
 //! test`), which writes `BENCH_<suite>.json` with single-shot timings,
-//! then runs this binary. It fails (exit 1) when `BENCH_mapping.json` or
-//! `BENCH_gnn.json` is missing, malformed, or lacks the entries the
-//! incremental-annealer and batched-GNN work is benchmarked by — so a
-//! refactor that silently drops a bench registration breaks verify, not
-//! just the numbers.
+//! then runs this binary. It fails (exit 1) when `BENCH_mapping.json`,
+//! `BENCH_gnn.json`, or `BENCH_pipeline.json` is missing, malformed, or
+//! lacks the entries the incremental-annealer, batched-GNN, and artifact
+//! round-trip work is benchmarked by — so a refactor that silently drops
+//! a bench registration breaks verify, not just the numbers.
 
 use lisa_bench::timing::bench_dir;
 
@@ -28,6 +28,15 @@ const REQUIRED_GNN: &[&str] = &[
     "schedule_order/train_epoch_8",
     "edge_mlp/train_epoch_64",
     "spatial/train_epoch_48",
+];
+
+/// Pipeline-suite entries every run must produce: DFG generation plus
+/// the two checkpoint-artifact round-trips resume depends on. (The
+/// end-to-end pipeline entry is heavy tier and absent in smoke mode.)
+const REQUIRED_PIPELINE: &[&str] = &[
+    "stage/generate_dfgs_12",
+    "artifacts/dfg_set_round_trip_12",
+    "artifacts/dataset_round_trip_12",
 ];
 
 fn fail(msg: &str) -> ! {
@@ -77,7 +86,11 @@ fn check_suite(suite: &str, required: &[&str]) -> &'static str {
 }
 
 fn main() {
-    let suites = [("mapping", REQUIRED_MAPPING), ("gnn", REQUIRED_GNN)];
+    let suites = [
+        ("mapping", REQUIRED_MAPPING),
+        ("gnn", REQUIRED_GNN),
+        ("pipeline", REQUIRED_PIPELINE),
+    ];
     for (suite, required) in suites {
         let mode = check_suite(suite, required);
         println!(

@@ -1,10 +1,12 @@
 //! Shared experiment machinery: scales, budgets, mapper protocols.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use lisa_arch::Accelerator;
-use lisa_core::{Lisa, LisaConfig};
+use lisa_core::{Lisa, LisaConfig, Pipeline};
 use lisa_dfg::{Dfg, RandomDfgConfig};
+use lisa_events::{EventSink, JsonlObserver, MultiObserver, Observer, StderrObserver};
 use lisa_gnn::TrainConfig;
 use lisa_labels::{FilterConfig, IterGenConfig};
 use lisa_mapper::exact::{ExactMapper, ExactParams};
@@ -173,21 +175,43 @@ impl Harness {
         }
     }
 
-    /// Trains LISA for an accelerator, logging progress to stderr.
+    /// Trains LISA for an accelerator through the staged pipeline, with
+    /// stage progress on stderr. Set `LISA_EVENT_LOG=<path>` to also
+    /// capture the full structured event stream as JSONL.
     pub fn train_lisa(&self, acc: &Accelerator) -> Lisa {
         eprintln!("[harness] training LISA for {} ...", acc.name());
         let config = self.lisa_config(acc.is_spatial_only());
-        let start = std::time::Instant::now();
-        let lisa = Lisa::train_for(acc, &config);
+        let lisa = Pipeline::new(acc, config)
+            .with_observer(Self::event_sink())
+            .run()
+            .expect("harness training configs yield a non-empty dataset")
+            .expect("pipeline without stop_after runs to completion");
         let stats = lisa.stats();
         eprintln!(
-            "[harness] trained in {:.1?}: {}/{} DFGs kept, accuracy {:?}",
-            start.elapsed(),
-            stats.dfgs_kept,
-            stats.dfgs_generated,
-            stats.accuracy.values
+            "[harness] trained: {}/{} DFGs kept, accuracy {:?}",
+            stats.dfgs_kept, stats.dfgs_generated, stats.accuracy.values
         );
         lisa
+    }
+
+    /// Stderr milestones, teed into a JSONL event log when
+    /// `LISA_EVENT_LOG` names a writable path.
+    fn event_sink() -> EventSink {
+        let stderr: Arc<dyn Observer> = Arc::new(StderrObserver::new());
+        match std::env::var("LISA_EVENT_LOG") {
+            Ok(path) if !path.is_empty() => {
+                match JsonlObserver::to_file(std::path::Path::new(&path)) {
+                    Ok(jsonl) => {
+                        EventSink::new(Arc::new(MultiObserver::new(vec![stderr, Arc::new(jsonl)])))
+                    }
+                    Err(e) => {
+                        eprintln!("[harness] cannot open LISA_EVENT_LOG {path}: {e}");
+                        EventSink::new(stderr)
+                    }
+                }
+            }
+            _ => EventSink::new(stderr),
+        }
     }
 
     /// Runs the three mappers on one benchmark. SA follows the paper's

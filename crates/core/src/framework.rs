@@ -8,15 +8,16 @@
 //! and [`Lisa::map`] runs the label-aware simulated annealing with them.
 
 use lisa_arch::Accelerator;
-use lisa_dfg::{random, Dfg};
+use lisa_dfg::Dfg;
 use lisa_gnn::dataset::NodeGraphSample;
 use lisa_gnn::metrics::{accuracy, LabelKind};
 use lisa_gnn::models::{EdgeMlp, ScheduleOrderNet, SpatialNet};
 use lisa_labels::attributes::{DfgAttributes, DUMMY_ATTR_DIM, EDGE_ATTR_DIM, NODE_ATTR_DIM};
-use lisa_labels::{filter, generate_labels, TrainingSet};
+use lisa_labels::TrainingSet;
 use lisa_mapper::schedule::IiSearch;
 use lisa_mapper::{GuidanceLabels, LabelSaMapper, Mapping, MappingOutcome};
 
+use crate::pipeline::{Pipeline, TrainError};
 use crate::report::{LabelAccuracy, TrainingStats};
 use crate::LisaConfig;
 
@@ -31,7 +32,7 @@ use crate::LisaConfig;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let acc = Accelerator::cgra("4x4", 4, 4);
-/// let lisa = Lisa::train_for(&acc, &LisaConfig::default());
+/// let lisa = Lisa::train_for(&acc, &LisaConfig::default())?;
 /// let dfg = polybench::kernel("gemm")?;
 /// let (outcome, _mapping) = lisa.map(&dfg, &acc);
 /// println!("gemm on 4x4: II = {:?}", outcome.ii);
@@ -52,93 +53,37 @@ pub struct Lisa {
 impl Lisa {
     /// Trains LISA for an accelerator: Fig. 2's training-data generation
     /// and GNN-model construction, plus the Table II holdout evaluation.
-    pub fn train_for(acc: &Accelerator, config: &LisaConfig) -> Lisa {
-        // 1. Raw DFG generation (§V-A).
-        let dfgs = random::generate_dataset(&config.dfg, config.seed, config.training_dfgs);
+    ///
+    /// This is the unobserved, uncheckpointed run of the staged
+    /// [`Pipeline`]; build one directly to attach an observer or to
+    /// checkpoint and resume.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::EmptyDataset`] when no labelled DFG survives the
+    /// §V-C filter — nothing to train on.
+    pub fn train_for(acc: &Accelerator, config: &LisaConfig) -> Result<Lisa, TrainError> {
+        let lisa = Pipeline::new(acc, config.clone())
+            .run()?
+            .expect("pipeline without stop_after runs to completion");
+        Ok(lisa)
+    }
 
-        // 2. Iterative label generation + filter (§V-B, §V-C). Each DFG's
-        // generation is independent, so fan out across worker threads;
-        // results come back in DFG order, so the training set — and every
-        // downstream weight — is identical for any `parallelism`.
-        let generated_per_dfg =
-            lisa_mapper::portfolio::par_map(config.parallelism, dfgs, |_, dfg| {
-                let generated = generate_labels(&dfg, acc, &config.iter_gen);
-                (dfg, generated)
-            });
-        let mut labelled: Vec<(Dfg, GuidanceLabels)> = Vec::new();
-        let mut labelled_count = 0;
-        for (dfg, generated) in generated_per_dfg {
-            let Some(generated) = generated else {
-                continue;
-            };
-            labelled_count += 1;
-            if filter::accept(&generated, &config.filter) {
-                labelled.push((dfg, generated.labels));
-            }
-        }
-
-        // 3. Train/holdout split by graph.
-        let holdout_len = ((labelled.len() as f64) * config.holdout_fraction).round() as usize;
-        let holdout_len = holdout_len.min(labelled.len().saturating_sub(1));
-        let (train_graphs, holdout_graphs) = labelled.split_at(labelled.len() - holdout_len);
-
-        let mut train_set = TrainingSet::new();
-        for (dfg, labels) in train_graphs {
-            train_set.push(dfg, labels);
-        }
-        let mut holdout_set = TrainingSet::new();
-        for (dfg, labels) in holdout_graphs {
-            holdout_set.push(dfg, labels);
-        }
-
-        // 4. Train the four label networks (§IV-B, §VI-B). The framework's
-        // worker budget also drives the deterministic parallel gradient
-        // loop inside each network (bit-identical for any value).
-        let train_cfg = lisa_gnn::TrainConfig {
-            parallelism: config.parallelism.max(1),
-            ..config.train
-        };
-        let mut schedule_net = ScheduleOrderNet::new(NODE_ATTR_DIM, config.seed ^ 0x1);
-        let mut same_level_net = EdgeMlp::new(DUMMY_ATTR_DIM, config.seed ^ 0x2);
-        let mut spatial_net = SpatialNet::new(EDGE_ATTR_DIM, config.seed ^ 0x3);
-        let mut temporal_net = EdgeMlp::new(EDGE_ATTR_DIM, config.seed ^ 0x4);
-
-        let r1 = schedule_net.train(&train_set.node_graphs, &train_cfg);
-        let r2 = same_level_net.train(&train_set.same_level, &train_cfg);
-        let r3 = spatial_net.train(&train_set.spatial, &train_cfg);
-        let r4 = temporal_net.train(&train_set.temporal, &train_cfg);
-
-        // 5. Table II: held-out accuracy per label.
-        let eval_set = if holdout_set.is_empty() {
-            &train_set
-        } else {
-            &holdout_set
-        };
-        let accuracy = evaluate_accuracy(
-            &schedule_net,
-            &same_level_net,
-            &spatial_net,
-            &temporal_net,
-            eval_set,
-        );
-
-        let stats = TrainingStats {
-            dfgs_generated: config.training_dfgs,
-            dfgs_labelled: labelled_count,
-            dfgs_kept: train_graphs.len() + holdout_graphs.len(),
-            dfgs_holdout: holdout_graphs.len(),
-            final_losses: [
-                r1.final_loss(),
-                r2.final_loss(),
-                r3.final_loss(),
-                r4.final_loss(),
-            ],
-            accuracy,
-        };
-
+    /// Assembles an instance from trained parts (the pipeline's final
+    /// stage and the model importer).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        accelerator_name: String,
+        config: LisaConfig,
+        schedule_net: ScheduleOrderNet,
+        same_level_net: EdgeMlp,
+        spatial_net: SpatialNet,
+        temporal_net: EdgeMlp,
+        stats: TrainingStats,
+    ) -> Lisa {
         Lisa {
-            accelerator_name: acc.name().to_string(),
-            config: config.clone(),
+            accelerator_name,
+            config,
             schedule_net,
             same_level_net,
             spatial_net,
@@ -311,7 +256,7 @@ impl Lisa {
     }
 }
 
-fn evaluate_accuracy(
+pub(crate) fn evaluate_accuracy(
     schedule_net: &ScheduleOrderNet,
     same_level_net: &EdgeMlp,
     spatial_net: &SpatialNet,
@@ -362,7 +307,7 @@ mod tests {
 
     fn trained_fast() -> (Lisa, Accelerator) {
         let acc = Accelerator::cgra("4x4", 4, 4);
-        let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+        let lisa = Lisa::train_for(&acc, &LisaConfig::fast()).unwrap();
         (lisa, acc)
     }
 
@@ -396,8 +341,8 @@ mod tests {
     #[test]
     fn deterministic_training() {
         let acc = Accelerator::cgra("3x3", 3, 3);
-        let a = Lisa::train_for(&acc, &LisaConfig::fast());
-        let b = Lisa::train_for(&acc, &LisaConfig::fast());
+        let a = Lisa::train_for(&acc, &LisaConfig::fast()).unwrap();
+        let b = Lisa::train_for(&acc, &LisaConfig::fast()).unwrap();
         let dfg = polybench::kernel("doitgen").unwrap();
         assert_eq!(a.predict_labels(&dfg), b.predict_labels(&dfg));
     }
@@ -415,8 +360,8 @@ mod tests {
             parallelism: 4,
             ..LisaConfig::fast()
         };
-        let a = Lisa::train_for(&acc, &sequential);
-        let b = Lisa::train_for(&acc, &parallel);
+        let a = Lisa::train_for(&acc, &sequential).unwrap();
+        let b = Lisa::train_for(&acc, &parallel).unwrap();
         let dfg = polybench::kernel("doitgen").unwrap();
         assert_eq!(a.predict_labels(&dfg), b.predict_labels(&dfg));
         let (oa, _) = a.map_capped(&dfg, &acc, 8);
@@ -435,7 +380,7 @@ mod model_io_tests {
     #[test]
     fn export_import_roundtrip_preserves_predictions() {
         let acc = Accelerator::cgra("3x3", 3, 3);
-        let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+        let lisa = Lisa::train_for(&acc, &LisaConfig::fast()).unwrap();
         let text = lisa.export_model();
         let restored = Lisa::import_model(&LisaConfig::fast(), &text).unwrap();
         assert_eq!(restored.accelerator_name(), "3x3");
@@ -446,5 +391,46 @@ mod model_io_tests {
     #[test]
     fn import_rejects_garbage() {
         assert!(Lisa::import_model(&LisaConfig::fast(), "not a model").is_err());
+    }
+
+    #[test]
+    fn import_rejects_dimension_mismatched_weights() {
+        // A structurally valid model whose schedule_order dump comes from
+        // a different architecture (wrong input width) must fail with
+        // BadWeights naming the section — never panic or load silently.
+        let wrong = ScheduleOrderNet::new(NODE_ATTR_DIM + 1, 9).export_weights();
+        let ok_sl = EdgeMlp::new(DUMMY_ATTR_DIM, 0).export_weights();
+        let ok_sp = SpatialNet::new(EDGE_ATTR_DIM, 0).export_weights();
+        let ok_tp = EdgeMlp::new(EDGE_ATTR_DIM, 0).export_weights();
+        let text = crate::model_io::assemble("4x4", [wrong, ok_sl, ok_sp, ok_tp]);
+        let err = Lisa::import_model(&LisaConfig::fast(), &text).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::ModelImportError::BadWeights {
+                    section: "schedule_order",
+                    ..
+                }
+            ),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn import_rejects_swapped_sections() {
+        // Spatial weights in the temporal slot: shapes differ, so the
+        // mismatch must surface as BadWeights for that section.
+        let acc = Accelerator::cgra("3x3", 3, 3);
+        let lisa = Lisa::train_for(&acc, &LisaConfig::fast()).unwrap();
+        let text = lisa.export_model();
+        let swapped = text
+            .replace("=== spatial ===", "=== HOLD ===")
+            .replace("=== temporal ===", "=== spatial ===")
+            .replace("=== HOLD ===", "=== temporal ===");
+        let err = Lisa::import_model(&LisaConfig::fast(), &swapped).unwrap_err();
+        assert!(
+            matches!(err, crate::ModelImportError::BadWeights { .. }),
+            "unexpected error: {err}"
+        );
     }
 }

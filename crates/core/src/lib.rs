@@ -26,20 +26,68 @@
 //! let acc = Accelerator::cgra("4x4", 4, 4);
 //! // `fast()` keeps this example snappy; use `LisaConfig::default()` for
 //! // experiment-scale training.
-//! let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+//! let lisa = Lisa::train_for(&acc, &LisaConfig::fast())?;
 //! let dfg = polybench::kernel("doitgen")?;
 //! let (outcome, _mapping) = lisa.map_capped(&dfg, &acc, 8);
 //! assert!(outcome.mapped());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Training is a staged [`Pipeline`] under the hood: build one directly
+//! to stream progress events, checkpoint artifacts to a directory, and
+//! resume an interrupted label-generation run.
+
+use std::fmt;
 
 mod config;
 mod framework;
 mod model_io;
+mod pipeline;
 mod report;
 
 pub use config::LisaConfig;
 pub use framework::Lisa;
 pub use model_io::ModelImportError;
+pub use pipeline::{Pipeline, Stage, TrainError, DATASET_FILE, DFGS_FILE, MODEL_FILE};
 pub use report::{LabelAccuracy, TrainingStats};
+
+/// Any failure the framework can produce: training or model import.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The training pipeline failed.
+    Train(TrainError),
+    /// A serialised model failed to import.
+    ModelImport(ModelImportError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Train(e) => write!(f, "training failed: {e}"),
+            Error::ModelImport(e) => write!(f, "model import failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Train(e) => Some(e),
+            Error::ModelImport(e) => Some(e),
+        }
+    }
+}
+
+impl From<TrainError> for Error {
+    fn from(e: TrainError) -> Self {
+        Error::Train(e)
+    }
+}
+
+impl From<ModelImportError> for Error {
+    fn from(e: ModelImportError) -> Self {
+        Error::ModelImport(e)
+    }
+}

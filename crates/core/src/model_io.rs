@@ -39,6 +39,18 @@ pub enum ModelImportError {
         /// Underlying parse error.
         source: ParseParamsError,
     },
+    /// The same section header appeared twice — concatenating two weight
+    /// dumps would corrupt the network silently.
+    DuplicateSection {
+        /// Name of the repeated section.
+        section: &'static str,
+    },
+    /// A non-blank line outside any known section (before the first
+    /// header, or under an unrecognised one).
+    UnexpectedContent {
+        /// The offending line, verbatim.
+        line: String,
+    },
 }
 
 impl fmt::Display for ModelImportError {
@@ -51,6 +63,12 @@ impl fmt::Display for ModelImportError {
             }
             ModelImportError::BadWeights { section, source } => {
                 write!(f, "bad weights in section {section}: {source}")
+            }
+            ModelImportError::DuplicateSection { section } => {
+                write!(f, "section {section} appears twice")
+            }
+            ModelImportError::UnexpectedContent { line } => {
+                write!(f, "unexpected content outside any section: `{line}`")
             }
         }
     }
@@ -96,17 +114,39 @@ pub(crate) fn disassemble(text: &str) -> Result<(String, [String; 4]), ModelImpo
 
     let mut parts: [String; 4] = Default::default();
     let mut current: Option<usize> = None;
+    let mut seen = [false; 4];
     for line in lines {
         if let Some(name) = line
             .strip_prefix("=== ")
             .and_then(|l| l.strip_suffix(" ==="))
         {
-            current = SECTIONS.iter().position(|s| *s == name);
+            let Some(idx) = SECTIONS.iter().position(|s| *s == name) else {
+                return Err(ModelImportError::UnexpectedContent {
+                    line: line.to_string(),
+                });
+            };
+            if seen[idx] {
+                return Err(ModelImportError::DuplicateSection {
+                    section: SECTIONS[idx],
+                });
+            }
+            seen[idx] = true;
+            current = Some(idx);
             continue;
         }
-        if let Some(idx) = current {
-            parts[idx].push_str(line);
-            parts[idx].push('\n');
+        match current {
+            Some(idx) => {
+                parts[idx].push_str(line);
+                parts[idx].push('\n');
+            }
+            // Blank lines between the accelerator line and the first
+            // section are tolerated; anything else is a corrupt model.
+            None if line.trim().is_empty() => {}
+            None => {
+                return Err(ModelImportError::UnexpectedContent {
+                    line: line.to_string(),
+                });
+            }
         }
     }
     for (i, part) in parts.iter().enumerate() {
@@ -153,5 +193,61 @@ mod tests {
             disassemble(text),
             Err(ModelImportError::MissingSection { .. })
         ));
+    }
+
+    fn valid_model() -> String {
+        let parts: [String; 4] =
+            std::array::from_fn(|_| "lisa-gnn-params v1\ntensors 0\n".to_string());
+        assemble("4x4", parts)
+    }
+
+    #[test]
+    fn duplicate_section_rejected() {
+        let text = format!("{}=== spatial ===\nextra\n", valid_model());
+        assert_eq!(
+            disassemble(&text),
+            Err(ModelImportError::DuplicateSection { section: "spatial" })
+        );
+    }
+
+    #[test]
+    fn pre_section_content_rejected() {
+        let text = valid_model().replace(
+            "=== schedule_order ===",
+            "stray line\n=== schedule_order ===",
+        );
+        assert_eq!(
+            disassemble(&text),
+            Err(ModelImportError::UnexpectedContent {
+                line: "stray line".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn blank_pre_section_lines_tolerated() {
+        let text = valid_model().replace("=== schedule_order ===", "\n   \n=== schedule_order ===");
+        assert!(disassemble(&text).is_ok());
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        let text = format!("{}=== mystery ===\nstuff\n", valid_model());
+        assert_eq!(
+            disassemble(&text),
+            Err(ModelImportError::UnexpectedContent {
+                line: "=== mystery ===".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let dup = ModelImportError::DuplicateSection { section: "spatial" };
+        assert!(dup.to_string().contains("twice"));
+        let stray = ModelImportError::UnexpectedContent {
+            line: "x".to_string(),
+        };
+        assert!(stray.to_string().contains('x'));
     }
 }

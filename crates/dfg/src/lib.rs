@@ -45,6 +45,7 @@ pub mod polybench;
 pub mod random;
 pub mod same_level;
 pub mod stats;
+pub mod text;
 pub mod unroll;
 
 pub use error::DfgError;

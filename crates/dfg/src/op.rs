@@ -112,6 +112,12 @@ impl OpKind {
         OpKind::ALL.iter().position(|&k| k == self).expect("in ALL")
     }
 
+    /// Resolves a mnemonic back to its operation (the inverse of
+    /// [`OpKind::mnemonic`], used by the text format parser).
+    pub fn from_mnemonic(s: &str) -> Option<OpKind> {
+        OpKind::ALL.iter().copied().find(|k| k.mnemonic() == s)
+    }
+
     /// Short lowercase mnemonic (also used by Graphviz export).
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -190,5 +196,14 @@ mod tests {
         for op in OpKind::ALL {
             assert_eq!(op.to_string(), op.mnemonic());
         }
+    }
+
+    #[test]
+    fn from_mnemonic_inverts_mnemonic() {
+        for op in OpKind::ALL {
+            assert_eq!(OpKind::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(OpKind::from_mnemonic("fma"), None);
+        assert_eq!(OpKind::from_mnemonic("ADD"), None);
     }
 }

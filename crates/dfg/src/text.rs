@@ -1,0 +1,480 @@
+//! The `lisa-dfg v1` text round-trip format.
+//!
+//! A persisted DFG is a line-oriented block:
+//!
+//! ```text
+//! lisa-dfg v1
+//! name mac
+//! nodes 3
+//! node 0 load a
+//! node 1 mul m
+//! node 2 store s
+//! edges 2
+//! edge 0 0 1 data
+//! edge 1 1 2 data
+//! end dfg
+//! ```
+//!
+//! Node and edge lines appear in id order, so parsing rebuilds the graph
+//! through the ordinary [`Dfg`] construction API and the result compares
+//! equal (`==`) to the original, adjacency lists included. Node names are
+//! the rest of the line after the mnemonic and may contain spaces; they
+//! must not contain newlines (enforced by the writer in debug builds).
+//!
+//! Multiple DFGs persist as a `lisa-dfg-set v1` container: a two-line
+//! header (`lisa-dfg-set v1`, `count N`) followed by N blocks separated
+//! by blank lines. The labelled-dataset format in `lisa-labels` embeds
+//! single blocks the same way.
+
+use std::fmt;
+
+use crate::{Dfg, DfgError, EdgeKind, NodeId, OpKind};
+
+/// Header line opening every serialized DFG block.
+pub const DFG_HEADER: &str = "lisa-dfg v1";
+/// Trailer line closing every serialized DFG block.
+pub const DFG_TRAILER: &str = "end dfg";
+/// Header line of the multi-DFG container.
+pub const SET_HEADER: &str = "lisa-dfg-set v1";
+
+/// Why a `lisa-dfg v1` document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseDfgError {
+    /// The first line was not the expected format header.
+    BadHeader {
+        /// The header that was expected.
+        expected: &'static str,
+    },
+    /// A structural line did not match its expected shape.
+    BadLine {
+        /// The offending line, verbatim.
+        line: String,
+    },
+    /// A `node`/`edge` line carried an id different from its position.
+    BadIndex {
+        /// The offending line, verbatim.
+        line: String,
+    },
+    /// An unknown operation mnemonic.
+    UnknownOp {
+        /// The mnemonic that failed to resolve.
+        mnemonic: String,
+    },
+    /// The document ended before the block was complete.
+    UnexpectedEof,
+    /// Non-blank content followed the final trailer.
+    TrailingContent {
+        /// The first unexpected line.
+        line: String,
+    },
+    /// The declared count disagreed with the parsed blocks.
+    CountMismatch {
+        /// Count declared in the header.
+        declared: usize,
+        /// Blocks actually present.
+        found: usize,
+    },
+    /// The edges violated a [`Dfg`] structural invariant.
+    Graph(DfgError),
+}
+
+impl fmt::Display for ParseDfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDfgError::BadHeader { expected } => {
+                write!(f, "missing `{expected}` header")
+            }
+            ParseDfgError::BadLine { line } => write!(f, "malformed line: `{line}`"),
+            ParseDfgError::BadIndex { line } => {
+                write!(f, "id out of sequence: `{line}`")
+            }
+            ParseDfgError::UnknownOp { mnemonic } => {
+                write!(f, "unknown operation mnemonic `{mnemonic}`")
+            }
+            ParseDfgError::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseDfgError::TrailingContent { line } => {
+                write!(f, "unexpected content after trailer: `{line}`")
+            }
+            ParseDfgError::CountMismatch { declared, found } => {
+                write!(f, "header declares {declared} DFGs but {found} present")
+            }
+            ParseDfgError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDfgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseDfgError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for ParseDfgError {
+    fn from(e: DfgError) -> Self {
+        ParseDfgError::Graph(e)
+    }
+}
+
+/// Serializes one DFG as a `lisa-dfg v1` block (trailing newline
+/// included).
+pub fn write_dfg(dfg: &Dfg) -> String {
+    let mut out = String::new();
+    write_dfg_into(&mut out, dfg);
+    out
+}
+
+/// Appends one `lisa-dfg v1` block to `out`.
+pub fn write_dfg_into(out: &mut String, dfg: &Dfg) {
+    debug_assert!(
+        !dfg.name().contains('\n') && dfg.nodes().iter().all(|n| !n.name.contains('\n')),
+        "names must be single-line to serialize"
+    );
+    out.push_str(DFG_HEADER);
+    out.push('\n');
+    out.push_str(&format!("name {}\n", dfg.name()));
+    out.push_str(&format!("nodes {}\n", dfg.node_count()));
+    for (i, node) in dfg.nodes().iter().enumerate() {
+        out.push_str(&format!("node {i} {} {}\n", node.op.mnemonic(), node.name));
+    }
+    out.push_str(&format!("edges {}\n", dfg.edge_count()));
+    for (i, edge) in dfg.edges().iter().enumerate() {
+        match edge.kind {
+            EdgeKind::Data => out.push_str(&format!(
+                "edge {i} {} {} data\n",
+                edge.src.index(),
+                edge.dst.index()
+            )),
+            EdgeKind::Recurrence { distance } => out.push_str(&format!(
+                "edge {i} {} {} rec {distance}\n",
+                edge.src.index(),
+                edge.dst.index()
+            )),
+        }
+    }
+    out.push_str(DFG_TRAILER);
+    out.push('\n');
+}
+
+/// Parses a document holding exactly one `lisa-dfg v1` block.
+///
+/// # Errors
+///
+/// Returns a [`ParseDfgError`] describing the first structural problem.
+pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
+    let mut lines = text.lines();
+    let dfg = parse_dfg_lines(&mut lines)?;
+    if let Some(extra) = lines.find(|l| !l.trim().is_empty()) {
+        return Err(ParseDfgError::TrailingContent {
+            line: extra.to_string(),
+        });
+    }
+    Ok(dfg)
+}
+
+/// Parses one `lisa-dfg v1` block from a line cursor, consuming lines up
+/// to and including the `end dfg` trailer. Leading blank lines are
+/// skipped. Other formats (the labelled-dataset container) reuse this to
+/// embed DFG blocks.
+///
+/// # Errors
+///
+/// Returns a [`ParseDfgError`] describing the first structural problem.
+pub fn parse_dfg_lines<'a, I>(lines: &mut I) -> Result<Dfg, ParseDfgError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let header = lines
+        .find(|l| !l.trim().is_empty())
+        .ok_or(ParseDfgError::UnexpectedEof)?;
+    if header.trim_end() != DFG_HEADER {
+        return Err(ParseDfgError::BadHeader {
+            expected: DFG_HEADER,
+        });
+    }
+    let name_line = lines.next().ok_or(ParseDfgError::UnexpectedEof)?;
+    let name = name_line
+        .strip_prefix("name ")
+        .or_else(|| (name_line == "name").then_some(""))
+        .ok_or_else(|| ParseDfgError::BadLine {
+            line: name_line.to_string(),
+        })?;
+    let mut dfg = Dfg::new(name);
+
+    let node_count = parse_count(lines.next(), "nodes")?;
+    for i in 0..node_count {
+        let line = lines.next().ok_or(ParseDfgError::UnexpectedEof)?;
+        let rest = line
+            .strip_prefix("node ")
+            .ok_or_else(|| ParseDfgError::BadLine {
+                line: line.to_string(),
+            })?;
+        let bad = || ParseDfgError::BadLine {
+            line: line.to_string(),
+        };
+        let mut parts = rest.splitn(3, ' ');
+        let id: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        if id != i {
+            return Err(ParseDfgError::BadIndex {
+                line: line.to_string(),
+            });
+        }
+        let mnemonic = parts.next().ok_or_else(bad)?;
+        let op = OpKind::from_mnemonic(mnemonic).ok_or_else(|| ParseDfgError::UnknownOp {
+            mnemonic: mnemonic.to_string(),
+        })?;
+        let node_name = parts.next().unwrap_or("");
+        dfg.add_node(op, node_name);
+    }
+
+    let edge_count = parse_count(lines.next(), "edges")?;
+    for i in 0..edge_count {
+        let line = lines.next().ok_or(ParseDfgError::UnexpectedEof)?;
+        let rest = line
+            .strip_prefix("edge ")
+            .ok_or_else(|| ParseDfgError::BadLine {
+                line: line.to_string(),
+            })?;
+        let bad = || ParseDfgError::BadLine {
+            line: line.to_string(),
+        };
+        let parts: Vec<&str> = rest.split(' ').collect();
+        if parts.len() < 4 {
+            return Err(bad());
+        }
+        let id: usize = parts[0].parse().map_err(|_| bad())?;
+        if id != i {
+            return Err(ParseDfgError::BadIndex {
+                line: line.to_string(),
+            });
+        }
+        let src: usize = parts[1].parse().map_err(|_| bad())?;
+        let dst: usize = parts[2].parse().map_err(|_| bad())?;
+        let (src, dst) = (NodeId::new(src), NodeId::new(dst));
+        match (parts[3], parts.len()) {
+            ("data", 4) => {
+                dfg.add_data_edge(src, dst)?;
+            }
+            ("rec", 5) => {
+                let distance: u32 = parts[4].parse().map_err(|_| bad())?;
+                dfg.add_recurrence_edge(src, dst, distance)?;
+            }
+            _ => return Err(bad()),
+        }
+    }
+
+    let trailer = lines.next().ok_or(ParseDfgError::UnexpectedEof)?;
+    if trailer.trim_end() != DFG_TRAILER {
+        return Err(ParseDfgError::BadLine {
+            line: trailer.to_string(),
+        });
+    }
+    Ok(dfg)
+}
+
+fn parse_count(line: Option<&str>, keyword: &'static str) -> Result<usize, ParseDfgError> {
+    let line = line.ok_or(ParseDfgError::UnexpectedEof)?;
+    line.strip_prefix(keyword)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseDfgError::BadLine {
+            line: line.to_string(),
+        })
+}
+
+/// Serializes a list of DFGs as a `lisa-dfg-set v1` container.
+pub fn write_dfg_set(dfgs: &[Dfg]) -> String {
+    let mut out = String::new();
+    out.push_str(SET_HEADER);
+    out.push('\n');
+    out.push_str(&format!("count {}\n", dfgs.len()));
+    for dfg in dfgs {
+        out.push('\n');
+        write_dfg_into(&mut out, dfg);
+    }
+    out
+}
+
+/// Parses a `lisa-dfg-set v1` container.
+///
+/// # Errors
+///
+/// Returns a [`ParseDfgError`] on a malformed header, block, or a block
+/// count disagreeing with the declared `count`.
+pub fn parse_dfg_set(text: &str) -> Result<Vec<Dfg>, ParseDfgError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(ParseDfgError::UnexpectedEof)?;
+    if header.trim_end() != SET_HEADER {
+        return Err(ParseDfgError::BadHeader {
+            expected: SET_HEADER,
+        });
+    }
+    let count = parse_count(lines.next(), "count")?;
+    let mut dfgs = Vec::with_capacity(count);
+    for _ in 0..count {
+        dfgs.push(parse_dfg_lines(&mut lines)?);
+    }
+    if let Some(extra) = lines.find(|l| !l.trim().is_empty()) {
+        return Err(ParseDfgError::TrailingContent {
+            line: extra.to_string(),
+        });
+    }
+    Ok(dfgs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{generate_random_dfg, RandomDfgConfig};
+
+    fn mac() -> Dfg {
+        let mut g = Dfg::new("mac");
+        let a = g.add_node(OpKind::Load, "a");
+        let b = g.add_node(OpKind::Load, "b");
+        let m = g.add_node(OpKind::Mul, "m");
+        let acc = g.add_node(OpKind::Add, "acc");
+        g.add_data_edge(a, m).unwrap();
+        g.add_data_edge(b, m).unwrap();
+        g.add_data_edge(m, acc).unwrap();
+        g.add_recurrence_edge(acc, acc, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn hand_built_graph_round_trips() {
+        let g = mac();
+        let text = write_dfg(&g);
+        assert!(text.starts_with(DFG_HEADER));
+        assert!(text.ends_with("end dfg\n"));
+        assert_eq!(parse_dfg(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn names_with_spaces_round_trip() {
+        let mut g = Dfg::new("kernel with spaces");
+        g.add_node(OpKind::Const, "two words");
+        assert_eq!(parse_dfg(&write_dfg(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn set_round_trips() {
+        let cfg = RandomDfgConfig::default();
+        let dfgs: Vec<Dfg> = (0..5).map(|s| generate_random_dfg(&cfg, s)).collect();
+        assert_eq!(parse_dfg_set(&write_dfg_set(&dfgs)).unwrap(), dfgs);
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        assert_eq!(
+            parse_dfg_set(&write_dfg_set(&[])).unwrap(),
+            Vec::<Dfg>::new()
+        );
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            parse_dfg("lisa-dfg v2\n"),
+            Err(ParseDfgError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            parse_dfg_set("lisa-dfg v1\n"),
+            Err(ParseDfgError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_block_is_unexpected_eof() {
+        let text = write_dfg(&mac());
+        let cut = &text[..text.len() / 2];
+        let trimmed = &cut[..cut.rfind('\n').unwrap() + 1];
+        assert!(matches!(
+            parse_dfg(trimmed),
+            Err(ParseDfgError::UnexpectedEof | ParseDfgError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let text = write_dfg(&mac()).replace("node 2 mul m", "node 2 fma m");
+        assert_eq!(
+            parse_dfg(&text),
+            Err(ParseDfgError::UnknownOp {
+                mnemonic: "fma".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_sequence_ids_rejected() {
+        let text = write_dfg(&mac()).replace("node 2 mul m", "node 7 mul m");
+        assert!(matches!(
+            parse_dfg(&text),
+            Err(ParseDfgError::BadIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_edges_surface_graph_errors() {
+        let text = write_dfg(&mac()).replace("edge 2 2 3 data", "edge 2 2 9 data");
+        assert!(matches!(parse_dfg(&text), Err(ParseDfgError::Graph(_))));
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        let text = format!("{}garbage\n", write_dfg(&mac()));
+        assert!(matches!(
+            parse_dfg(&text),
+            Err(ParseDfgError::TrailingContent { .. })
+        ));
+    }
+
+    #[test]
+    fn set_count_must_cover_all_blocks() {
+        let dfgs = vec![mac(), mac()];
+        let text = write_dfg_set(&dfgs).replace("count 2", "count 1");
+        // The second block becomes trailing content.
+        assert!(matches!(
+            parse_dfg_set(&text),
+            Err(ParseDfgError::TrailingContent { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let err = parse_dfg("lisa-dfg v0\n").unwrap_err();
+        assert!(err.to_string().contains("lisa-dfg v1"));
+        let graph_err = ParseDfgError::from(DfgError::DataCycle);
+        assert!(std::error::Error::source(&graph_err).is_some());
+    }
+
+    lisa_rng::props! {
+        cases = 48;
+
+        /// Every random DFG survives a write/parse round trip exactly,
+        /// adjacency lists included.
+        fn random_dfgs_round_trip(seed in 0u64..1_000_000) {
+            let g = generate_random_dfg(&RandomDfgConfig::default(), seed);
+            assert_eq!(parse_dfg(&write_dfg(&g)).unwrap(), g);
+        }
+
+        /// The systolic training distribution round-trips too (different
+        /// op mix, bounded sinks).
+        fn systolic_dfgs_round_trip(seed in 0u64..1_000_000) {
+            let g = generate_random_dfg(&RandomDfgConfig::systolic(), seed);
+            assert_eq!(parse_dfg(&write_dfg(&g)).unwrap(), g);
+        }
+
+        /// Containers of several DFGs round-trip in order.
+        fn dfg_sets_round_trip(seed in 0u64..100_000, count in 1usize..6) {
+            let cfg = RandomDfgConfig::default();
+            let dfgs: Vec<Dfg> = (0..count)
+                .map(|i| generate_random_dfg(&cfg, seed + i as u64))
+                .collect();
+            assert_eq!(parse_dfg_set(&write_dfg_set(&dfgs)).unwrap(), dfgs);
+        }
+    }
+}

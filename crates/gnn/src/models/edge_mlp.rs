@@ -8,6 +8,8 @@
 
 use std::sync::Arc;
 
+use lisa_events::EventSink;
+
 use crate::dataset::EdgeSample;
 use crate::train::{run_training, TrainConfig, TrainReport};
 use crate::{Graph, ParamId, ParamStore, Tensor, VarId};
@@ -160,12 +162,27 @@ impl EdgeMlp {
 
     /// Trains on the samples with MSE loss.
     pub fn train(&mut self, samples: &[EdgeSample], config: &TrainConfig) -> TrainReport {
+        self.train_observed(samples, config, "edge_mlp", &EventSink::null())
+    }
+
+    /// Like [`EdgeMlp::train`], emitting a per-epoch loss event to `sink`.
+    /// `network` names this net in the events (an `EdgeMlp` backs both the
+    /// same-level and temporal networks, so the caller must say which).
+    pub fn train_observed(
+        &mut self,
+        samples: &[EdgeSample],
+        config: &TrainConfig,
+        network: &'static str,
+        sink: &EventSink,
+    ) -> TrainReport {
         let net = self.clone();
         run_training(
             &mut self.store,
             samples.len(),
             config,
             MICRO_BATCH,
+            network,
+            sink,
             |g, store, unit| {
                 let x = net.attrs_matrix(unit.iter().map(|&i| samples[i].attrs.as_slice()));
                 let targets: Arc<[f64]> = unit.iter().map(|&i| samples[i].target).collect();

@@ -11,6 +11,8 @@
 
 use std::sync::Arc;
 
+use lisa_events::EventSink;
+
 use crate::dataset::NodeGraphSample;
 use crate::train::{run_training, TrainConfig, TrainReport};
 use crate::{CsrAdjacency, Graph, ParamId, ParamStore, Tensor, VarId};
@@ -184,6 +186,18 @@ impl ScheduleOrderNet {
     /// Trains on graph samples; the per-sample loss is the mean squared
     /// error over that sample's nodes.
     pub fn train(&mut self, samples: &[NodeGraphSample], config: &TrainConfig) -> TrainReport {
+        self.train_observed(samples, config, "schedule_order", &EventSink::null())
+    }
+
+    /// Like [`ScheduleOrderNet::train`], emitting a per-epoch loss event
+    /// to `sink` under the caller-supplied `network` name.
+    pub fn train_observed(
+        &mut self,
+        samples: &[NodeGraphSample],
+        config: &TrainConfig,
+        network: &'static str,
+        sink: &EventSink,
+    ) -> TrainReport {
         let net = self.clone();
         // Per-sample batch matrices, CSR adjacencies, and targets are
         // shuffle-invariant: build them once, share across epochs (and
@@ -205,6 +219,8 @@ impl ScheduleOrderNet {
             samples.len(),
             config,
             1,
+            network,
+            sink,
             |g, store, unit| {
                 let (x, adj, targets, inv_n) = &prepared[unit[0]];
                 let p = net.forward(g, store, x.clone(), adj);

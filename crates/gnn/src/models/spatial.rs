@@ -13,6 +13,8 @@
 
 use std::sync::Arc;
 
+use lisa_events::EventSink;
+
 use crate::dataset::ContextEdgeSample;
 use crate::train::{run_training, TrainConfig, TrainReport};
 use crate::{Graph, ParamId, ParamStore, Tensor, VarId};
@@ -183,12 +185,26 @@ impl SpatialNet {
 
     /// Trains on the samples with MSE loss.
     pub fn train(&mut self, samples: &[ContextEdgeSample], config: &TrainConfig) -> TrainReport {
+        self.train_observed(samples, config, "spatial", &EventSink::null())
+    }
+
+    /// Like [`SpatialNet::train`], emitting a per-epoch loss event to
+    /// `sink` under the caller-supplied `network` name.
+    pub fn train_observed(
+        &mut self,
+        samples: &[ContextEdgeSample],
+        config: &TrainConfig,
+        network: &'static str,
+        sink: &EventSink,
+    ) -> TrainReport {
         let net = self.clone();
         run_training(
             &mut self.store,
             samples.len(),
             config,
             MICRO_BATCH,
+            network,
+            sink,
             |g, store, unit| {
                 let unit_samples: Vec<&ContextEdgeSample> =
                     unit.iter().map(|&i| &samples[i]).collect();

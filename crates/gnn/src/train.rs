@@ -9,6 +9,7 @@
 //! of worker threads produces bit-identical weights to the sequential
 //! loop (pinned by tests here and in `tests/determinism.rs`).
 
+use lisa_events::{EventSink, PipelineEvent};
 use lisa_rng::Rng;
 
 use crate::{Adam, Graph, ParamGrads, ParamStore, VarId};
@@ -89,11 +90,19 @@ impl TrainReport {
 /// `micro_batch` fixes how many samples share one tape; it is part of the
 /// numeric contract (like `batch_size`) and must not depend on
 /// `config.parallelism`. One Adam step runs per batch.
+///
+/// `network` names the model in the [`PipelineEvent::EpochLoss`] events
+/// emitted to `sink` after each epoch; it is caller-supplied because the
+/// same model type can back several logical networks (e.g. `EdgeMlp`
+/// serves both `same_level` and `temporal`). Events are pure
+/// observations: they never alter the training trajectory.
 pub(crate) fn run_training(
     store: &mut ParamStore,
     sample_count: usize,
     config: &TrainConfig,
     micro_batch: usize,
+    network: &'static str,
+    sink: &EventSink,
     loss_fn: impl Fn(&mut Graph, &ParamStore, &[usize]) -> VarId + Sync,
 ) -> TrainReport {
     let micro = micro_batch.max(1);
@@ -104,7 +113,7 @@ pub(crate) fn run_training(
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     // One tape for the whole run: reset() keeps its buffers.
     let mut seq_graph = Graph::new();
-    for _ in 0..config.epochs {
+    for epoch in 0..config.epochs {
         rng.shuffle(&mut order);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size.max(1)) {
@@ -135,7 +144,15 @@ pub(crate) fn run_training(
             store.scale_grads(1.0 / batch.len() as f64);
             adam.step(store);
         }
-        epoch_losses.push(epoch_loss / sample_count.max(1) as f64);
+        let mean_loss = epoch_loss / sample_count.max(1) as f64;
+        epoch_losses.push(mean_loss);
+        if sink.is_active() {
+            sink.emit(PipelineEvent::EpochLoss {
+                network,
+                epoch,
+                loss: mean_loss,
+            });
+        }
     }
     TrainReport { epoch_losses }
 }
@@ -177,7 +194,11 @@ mod tests {
     use crate::Tensor;
 
     fn linear_fit(cfg: &TrainConfig) -> (ParamStore, TrainReport) {
-        // Learn y = 2a - b from samples.
+        linear_fit_observed(cfg, &EventSink::null())
+    }
+
+    /// Learns y = 2a - b from samples, reporting to `sink`.
+    fn linear_fit_observed(cfg: &TrainConfig, sink: &EventSink) -> (ParamStore, TrainReport) {
         let mut store = ParamStore::new(0);
         let w = store.alloc(1, 2);
         let data: Vec<(Vec<f64>, f64)> = (0..40)
@@ -187,13 +208,21 @@ mod tests {
                 (vec![a, b], 2.0 * a - b)
             })
             .collect();
-        let report = run_training(&mut store, data.len(), cfg, 1, |g, s, unit| {
-            let i = unit[0];
-            let wv = g.param(s, w);
-            let x = g.input(Tensor::vector(data[i].0.clone()));
-            let y = g.matvec(wv, x);
-            g.squared_error(y, data[i].1)
-        });
+        let report = run_training(
+            &mut store,
+            data.len(),
+            cfg,
+            1,
+            "linear",
+            sink,
+            |g, s, unit| {
+                let i = unit[0];
+                let wv = g.param(s, w);
+                let x = g.input(Tensor::vector(data[i].0.clone()));
+                let y = g.matvec(wv, x);
+                g.squared_error(y, data[i].1)
+            },
+        );
         (store, report)
     }
 
@@ -240,6 +269,57 @@ mod tests {
             );
             assert_eq!(seq_report, par_report, "losses diverged at {workers}");
         }
+    }
+
+    #[test]
+    fn observer_receives_one_epoch_loss_per_epoch() {
+        use lisa_events::RecordingObserver;
+        use std::sync::Arc;
+
+        let cfg = TrainConfig {
+            epochs: 7,
+            batch_size: 8,
+            lr: 0.02,
+            weight_decay: 0.0,
+            shuffle_seed: 1,
+            parallelism: 1,
+        };
+        let recorder = Arc::new(RecordingObserver::default());
+        let sink = EventSink::new(recorder.clone());
+        let (_, report) = linear_fit_observed(&cfg, &sink);
+        let events = recorder.take();
+        assert_eq!(events.len(), cfg.epochs);
+        for (epoch, event) in events.iter().enumerate() {
+            assert_eq!(
+                *event,
+                PipelineEvent::EpochLoss {
+                    network: "linear",
+                    epoch,
+                    loss: report.epoch_losses[epoch],
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn observer_does_not_change_the_trajectory() {
+        use lisa_events::RecordingObserver;
+        use std::sync::Arc;
+
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 8,
+            lr: 0.02,
+            weight_decay: 1e-4,
+            shuffle_seed: 5,
+            parallelism: 1,
+        };
+        let (silent, silent_report) = linear_fit(&cfg);
+        let sink = EventSink::new(Arc::new(RecordingObserver::default()));
+        let (observed, observed_report) = linear_fit_observed(&cfg, &sink);
+        let id = crate::params::param_id_for_io(0);
+        assert_eq!(silent.value(id).data(), observed.value(id).data());
+        assert_eq!(silent_report, observed_report);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use lisa_arch::Accelerator;
 use lisa_dfg::Dfg;
+use lisa_events::{EventSink, LabelGenResult, PipelineEvent};
 use lisa_mapper::schedule::{mii, IiSearch};
 use lisa_mapper::{GuidanceLabels, LabelSaMapper, SaParams};
 
@@ -80,7 +81,7 @@ pub struct LabelCandidate {
 }
 
 /// Result of the iterative generation for one DFG.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratedLabels {
     /// The combined final labels (average of selected candidates).
     pub labels: GuidanceLabels,
@@ -102,6 +103,22 @@ pub fn generate_labels(
     acc: &Accelerator,
     config: &IterGenConfig,
 ) -> Option<GeneratedLabels> {
+    generate_labels_with(dfg, acc, config, 0, &EventSink::null())
+}
+
+/// Like [`generate_labels`], emitting a [`PipelineEvent::LabelGenRound`]
+/// per mapping round and a closing [`PipelineEvent::LabelGenFinished`] to
+/// `sink`, all tagged with `dfg_index`. The sink is also threaded into the
+/// underlying annealer, so an active observer additionally sees
+/// [`PipelineEvent::SaSnapshot`]s. Events are pure observations: the
+/// result is identical to [`generate_labels`] (pinned by test).
+pub fn generate_labels_with(
+    dfg: &Dfg,
+    acc: &Accelerator,
+    config: &IterGenConfig,
+    dfg_index: usize,
+    sink: &EventSink,
+) -> Option<GeneratedLabels> {
     let mut current = GuidanceLabels::initial(dfg);
     let mut candidates: Vec<LabelCandidate> = Vec::new();
     let mut best: Option<(u32, usize)> = None;
@@ -111,12 +128,22 @@ pub fn generate_labels(
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(round as u64);
-        let mapper = LabelSaMapper::initial_only(current.clone(), config.sa.clone(), seed);
+        let mapper = LabelSaMapper::initial_only(current.clone(), config.sa.clone(), seed)
+            .with_observer(sink.clone());
         let search = IiSearch {
             max_ii: config.max_ii,
         };
         let (outcome, mapping) = search.run_with_mapping_par(&mapper, dfg, acc, config.parallelism);
         let Some(mapping) = mapping else {
+            if sink.is_active() {
+                sink.emit(PipelineEvent::LabelGenRound {
+                    dfg_index,
+                    round,
+                    ii: None,
+                    routing_cells: 0,
+                    improved: false,
+                });
+            }
             continue; // keep previous labels, try again (paper §V-B)
         };
         let ii = outcome.ii.expect("mapping implies an II");
@@ -131,26 +158,52 @@ pub fn generate_labels(
             None => true,
             Some((bi, bc)) => ii < bi || (ii == bi && routing_cost < bc),
         };
+        if sink.is_active() {
+            sink.emit(PipelineEvent::LabelGenRound {
+                dfg_index,
+                round,
+                ii: Some(ii),
+                routing_cells: routing_cost,
+                improved: better,
+            });
+        }
         if better {
             best = Some((ii, routing_cost));
             current = extracted;
         }
     }
 
-    let (best_ii, _) = best?;
-    let selected = select_candidates(&candidates, best_ii);
-    let labels = average_labels(
-        &selected
-            .iter()
-            .map(|c| c.labels.clone())
-            .collect::<Vec<_>>(),
-    );
-    Some(GeneratedLabels {
-        labels,
-        best_ii,
-        mii: mii(dfg, acc),
-        candidate_count: selected.len(),
-    })
+    let generated = best.map(|(best_ii, _)| {
+        let selected = select_candidates(&candidates, best_ii);
+        let labels = average_labels(
+            &selected
+                .iter()
+                .map(|c| c.labels.clone())
+                .collect::<Vec<_>>(),
+        );
+        GeneratedLabels {
+            labels,
+            best_ii,
+            mii: mii(dfg, acc),
+            candidate_count: selected.len(),
+        }
+    });
+    if sink.is_active() {
+        let result = match &generated {
+            Some(g) => LabelGenResult::Mapped {
+                best_ii: g.best_ii,
+                mii: g.mii,
+                candidates: g.candidate_count,
+            },
+            None => LabelGenResult::Unmappable,
+        };
+        sink.emit(PipelineEvent::LabelGenFinished {
+            dfg_index,
+            result,
+            resumed: false,
+        });
+    }
+    generated
 }
 
 /// The paper's two selection rounds: keep minimum-II candidates, then those
@@ -209,6 +262,91 @@ mod tests {
         // II 3 excluded; cost 20 > 1.15 * 10 excluded.
         assert_eq!(selected.len(), 2);
         assert!(selected.iter().all(|c| c.ii == 2));
+    }
+
+    #[test]
+    fn observer_sees_rounds_and_a_finish() {
+        use lisa_events::RecordingObserver;
+        use std::sync::Arc;
+
+        let dfg = polybench::kernel("doitgen").unwrap();
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        let config = IterGenConfig::fast();
+        let recorder = Arc::new(RecordingObserver::default());
+        let sink = EventSink::new(recorder.clone());
+        let gen = generate_labels_with(&dfg, &acc, &config, 3, &sink).unwrap();
+        let events = recorder.take();
+
+        let rounds: Vec<&PipelineEvent> = events
+            .iter()
+            .filter(|e| matches!(e, PipelineEvent::LabelGenRound { .. }))
+            .collect();
+        assert_eq!(rounds.len(), config.rounds);
+        for (i, event) in rounds.iter().enumerate() {
+            let PipelineEvent::LabelGenRound {
+                dfg_index, round, ..
+            } = event
+            else {
+                unreachable!()
+            };
+            assert_eq!((*dfg_index, *round), (3, i));
+        }
+        // SA snapshots from the threaded annealer sink appear too.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, PipelineEvent::SaSnapshot { .. })));
+        assert_eq!(
+            *events.last().unwrap(),
+            PipelineEvent::LabelGenFinished {
+                dfg_index: 3,
+                result: LabelGenResult::Mapped {
+                    best_ii: gen.best_ii,
+                    mii: gen.mii,
+                    candidates: gen.candidate_count,
+                },
+                resumed: false,
+            }
+        );
+    }
+
+    #[test]
+    fn observer_reports_unmappable_and_changes_nothing() {
+        use lisa_events::RecordingObserver;
+        use std::sync::Arc;
+
+        let dfg = polybench::kernel("syr2k").unwrap();
+        let acc = Accelerator::cgra("1x1", 1, 1).with_max_ii(2);
+        let config = IterGenConfig::fast();
+        let recorder = Arc::new(RecordingObserver::default());
+        let sink = EventSink::new(recorder.clone());
+        assert!(generate_labels_with(&dfg, &acc, &config, 0, &sink).is_none());
+        let events = recorder.take();
+        assert_eq!(
+            *events.last().unwrap(),
+            PipelineEvent::LabelGenFinished {
+                dfg_index: 0,
+                result: LabelGenResult::Unmappable,
+                resumed: false,
+            }
+        );
+        // Failed rounds still report, with no II.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, PipelineEvent::LabelGenRound { ii: None, .. })));
+    }
+
+    #[test]
+    fn observer_does_not_change_the_labels() {
+        use lisa_events::RecordingObserver;
+        use std::sync::Arc;
+
+        let dfg = polybench::kernel("doitgen").unwrap();
+        let acc = Accelerator::cgra("4x4", 4, 4);
+        let config = IterGenConfig::fast();
+        let silent = generate_labels(&dfg, &acc, &config).unwrap();
+        let sink = EventSink::new(Arc::new(RecordingObserver::default()));
+        let observed = generate_labels_with(&dfg, &acc, &config, 0, &sink).unwrap();
+        assert_eq!(silent, observed);
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub mod filter;
 pub mod iter_gen;
 
 pub use attributes::DfgAttributes;
-pub use dataset::TrainingSet;
+pub use dataset::{
+    parse_dataset, parse_dataset_partial, write_dataset, Dataset, DatasetEntry, DatasetParseError,
+    DatasetWriter, TrainingSet,
+};
 pub use filter::FilterConfig;
-pub use iter_gen::{generate_labels, GeneratedLabels, IterGenConfig};
+pub use iter_gen::{generate_labels, generate_labels_with, GeneratedLabels, IterGenConfig};

@@ -20,6 +20,7 @@ use lisa_rng::Rng;
 
 use lisa_arch::{Accelerator, PeId};
 use lisa_dfg::{analysis, same_level, Dfg, EdgeId, NodeId};
+use lisa_events::EventSink;
 
 use crate::portfolio::{anneal_portfolio, PortfolioParams};
 use crate::sa::{MoveStats, SaParams, SaPolicy, VanillaPolicy};
@@ -318,6 +319,7 @@ pub struct LabelSaMapper {
     seed: u64,
     name: String,
     portfolio: PortfolioParams,
+    sink: EventSink,
 }
 
 impl LabelSaMapper {
@@ -330,6 +332,7 @@ impl LabelSaMapper {
             seed,
             name: "LISA".to_string(),
             portfolio: PortfolioParams::sequential(),
+            sink: EventSink::null(),
         }
     }
 
@@ -345,6 +348,7 @@ impl LabelSaMapper {
             seed,
             name: "SA+RP".to_string(),
             portfolio: PortfolioParams::sequential(),
+            sink: EventSink::null(),
         }
     }
 
@@ -361,6 +365,7 @@ impl LabelSaMapper {
             seed,
             name: "LISA-partial".to_string(),
             portfolio: PortfolioParams::sequential(),
+            sink: EventSink::null(),
         }
     }
 
@@ -369,6 +374,13 @@ impl LabelSaMapper {
     /// mapper, so `chains = 1` is byte-identical to the constructors).
     pub fn with_portfolio(mut self, portfolio: PortfolioParams) -> Self {
         self.portfolio = portfolio;
+        self
+    }
+
+    /// Streams per-temperature SA snapshots into `sink`. Events never
+    /// change the trajectory; the null sink restores silence.
+    pub fn with_observer(mut self, sink: EventSink) -> Self {
+        self.sink = sink;
         self
     }
 
@@ -413,6 +425,7 @@ impl IiMapper for LabelSaMapper {
             acc,
             ii,
             self.seed,
+            &self.sink,
         )
     }
 }

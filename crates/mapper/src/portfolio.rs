@@ -20,6 +20,7 @@ use std::sync::Mutex;
 
 use lisa_arch::Accelerator;
 use lisa_dfg::Dfg;
+use lisa_events::EventSink;
 use lisa_rng::Rng;
 
 use crate::sa::{anneal, mapping_cost, SaParams, SaPolicy};
@@ -155,6 +156,7 @@ pub(crate) fn anneal_portfolio<'a, P, F>(
     acc: &'a Accelerator,
     ii: u32,
     seed: u64,
+    sink: &EventSink,
 ) -> Option<Mapping<'a>>
 where
     P: SaPolicy,
@@ -167,7 +169,8 @@ where
         |_, chain| {
             let policy = make_policy(chain);
             let mut rng = Rng::seed_from_u64(chain_seed(seed, chain as u64, ii));
-            anneal(&policy, params, dfg, acc, ii, &mut rng).map(|m| (mapping_cost(&m), m))
+            anneal(&policy, params, dfg, acc, ii, &mut rng, chain, sink)
+                .map(|m| (mapping_cost(&m), m))
         },
     );
     let mut best: Option<(f64, Mapping<'a>)> = None;

@@ -15,6 +15,7 @@ use lisa_rng::Rng;
 
 use lisa_arch::{Accelerator, PeId};
 use lisa_dfg::{Dfg, EdgeId, NodeId};
+use lisa_events::{EventSink, PipelineEvent};
 
 use crate::schedule::IiMapper;
 use crate::Mapping;
@@ -239,7 +240,9 @@ struct MoveBuffers {
 }
 
 /// The annealing core shared by [`SaMapper`] and
-/// [`crate::LabelSaMapper`].
+/// [`crate::LabelSaMapper`]. `chain` tags the emitted
+/// [`PipelineEvent::SaSnapshot`]s with the portfolio chain index; the
+/// null sink makes the instrumentation free.
 pub(crate) fn anneal<'a, P: SaPolicy>(
     policy: &P,
     params: &SaParams,
@@ -247,9 +250,10 @@ pub(crate) fn anneal<'a, P: SaPolicy>(
     acc: &'a Accelerator,
     ii: u32,
     rng: &mut Rng,
+    chain: usize,
+    sink: &EventSink,
 ) -> Option<Mapping<'a>> {
     let start = Instant::now();
-    let sa_debug = std::env::var_os("LISA_SA_DEBUG").is_some();
     let mut mapping = Mapping::new(dfg, acc, ii).ok()?;
     let mut stats = MoveStats::default();
     let mut bufs = MoveBuffers::default();
@@ -304,28 +308,17 @@ pub(crate) fn anneal<'a, P: SaPolicy>(
                 );
             }
         }
-        if sa_debug {
-            let unrouted = mapping.unrouted_edges();
-            let detail: Vec<String> = unrouted
-                .iter()
-                .map(|&e| {
-                    let edge = dfg.edge(e);
-                    format!(
-                        "{e}:{:?}@{:?}->{:?}@{:?}",
-                        edge.src,
-                        mapping.placement(edge.src),
-                        edge.dst,
-                        mapping.placement(edge.dst)
-                    )
-                })
-                .collect();
-            eprintln!(
-                "temp={temp:.2} cost={cost} unplaced={} unrouted={:?} acc={}/{}",
-                mapping.unplaced_nodes().len(),
-                detail,
-                stats.accepted,
-                stats.attempted
-            );
+        if sink.is_active() {
+            sink.emit(PipelineEvent::SaSnapshot {
+                chain,
+                ii,
+                temp,
+                cost,
+                unplaced: mapping.unplaced_count(),
+                unrouted: mapping.unrouted_count(),
+                accepted: stats.accepted,
+                attempted: stats.attempted,
+            });
         }
         temp *= params.cooling;
     }
@@ -564,6 +557,7 @@ pub struct SaMapper {
     seed: u64,
     name: String,
     portfolio: crate::portfolio::PortfolioParams,
+    sink: EventSink,
 }
 
 impl SaMapper {
@@ -580,6 +574,7 @@ impl SaMapper {
             seed,
             name,
             portfolio: crate::portfolio::PortfolioParams::sequential(),
+            sink: EventSink::null(),
         }
     }
 
@@ -588,6 +583,14 @@ impl SaMapper {
     /// exactly, so `chains = 1` is byte-identical to [`new`](Self::new).
     pub fn with_portfolio(mut self, portfolio: crate::portfolio::PortfolioParams) -> Self {
         self.portfolio = portfolio;
+        self
+    }
+
+    /// Streams per-temperature [`PipelineEvent::SaSnapshot`]s into `sink`
+    /// (the replacement for the removed `LISA_SA_DEBUG` env var). Events
+    /// never change the trajectory; the null sink restores silence.
+    pub fn with_observer(mut self, sink: EventSink) -> Self {
+        self.sink = sink;
         self
     }
 
@@ -616,6 +619,7 @@ impl IiMapper for SaMapper {
             acc,
             ii,
             self.seed,
+            &self.sink,
         )
     }
 }
@@ -758,6 +762,51 @@ mod tests {
             let b = movement_throughput(&dfg, &acc, 3, seed, 120, MovementEngine::Journal);
             assert_eq!(a, b, "engines diverged for seed {seed}");
         }
+    }
+
+    #[test]
+    fn observer_receives_per_temperature_snapshots() {
+        use lisa_events::RecordingObserver;
+        use std::sync::Arc;
+        // An unmappable problem anneals through the full temperature
+        // schedule, so every level emits one snapshot.
+        let mut g = Dfg::new("big");
+        for i in 0..5 {
+            g.add_node(OpKind::Add, format!("n{i}"));
+        }
+        let acc = Accelerator::cgra("1x1", 1, 1);
+        let recorder = Arc::new(RecordingObserver::default());
+        let mut sa = SaMapper::new(SaParams::fast(), 5)
+            .with_observer(lisa_events::EventSink::new(recorder.clone()));
+        assert!(sa.map_at_ii(&g, &acc, 2).is_none());
+        let events = recorder.take();
+        assert!(!events.is_empty(), "no snapshots emitted");
+        assert!(events.iter().all(|e| matches!(
+            e,
+            lisa_events::PipelineEvent::SaSnapshot {
+                chain: 0,
+                ii: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn observer_does_not_change_the_trajectory() {
+        use lisa_events::RecordingObserver;
+        use std::sync::Arc;
+        let dfg = small_chain();
+        let acc = Accelerator::cgra("2x2", 2, 2);
+        let silent = SaMapper::new(SaParams::fast(), 9).map_at_ii(&dfg, &acc, 1);
+        let observed = SaMapper::new(SaParams::fast(), 9)
+            .with_observer(lisa_events::EventSink::new(Arc::new(
+                RecordingObserver::default(),
+            )))
+            .map_at_ii(&dfg, &acc, 1);
+        assert_eq!(
+            silent.map(|m| format!("{m:?}")),
+            observed.map(|m| format!("{m:?}"))
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // One retraining per accelerator — this is all the "porting" LISA
         // needs (paper Fig. 2: the GNN adapts the labels to the target).
         eprintln!("retraining for {} ...", acc.name());
-        let lisa = Lisa::train_for(acc, &LisaConfig::fast());
+        let lisa = Lisa::train_for(acc, &LisaConfig::fast())?;
         for (row, kernel) in rows.iter_mut().zip(&kernels) {
             let dfg = polybench::kernel(kernel)?;
             let (outcome, _) = lisa.map_capped(&dfg, acc, 12);

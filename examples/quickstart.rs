@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train the GNN label models for this accelerator. `fast()` keeps the
     // example under a minute; `LisaConfig::default()` is experiment-scale.
     println!("training LISA for {acc} ...");
-    let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast())?;
     let stats = lisa.stats();
     println!(
         "  {} training DFGs kept, label accuracies {:?}",

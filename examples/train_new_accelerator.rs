@@ -1,7 +1,9 @@
 //! The Fig. 2 pipeline, step by step, for a *new* accelerator — here a
 //! 3×5 CGRA that appears nowhere in the paper. This walks the three
 //! stages explicitly instead of calling `Lisa::train_for`, so you can see
-//! (and customise) each piece.
+//! (and customise) each piece. The packaged equivalent — with progress
+//! events, checkpointed artifacts, and resume — is
+//! `lisa_core::Pipeline`.
 //!
 //! Run with: `cargo run --release --example train_new_accelerator`
 

@@ -13,7 +13,7 @@ use lisa_mapper::{SaMapper, SaParams};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let acc = Accelerator::cgra("4x4", 4, 4);
     eprintln!("training LISA for {} ...", acc.name());
-    let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast())?;
 
     println!(
         "{:<12} {:>6} {:>7} {:>7} {:>7}",

@@ -5,15 +5,35 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# The whole tier is warning-free: any rustc warning fails the build.
+RUSTFLAGS="-D warnings ${RUSTFLAGS:-}"
+export RUSTFLAGS
+
 cargo fmt --check
 cargo build --release --offline
 cargo test -q --offline
 
 # Bench smoke: run the micro-benches once each (heavy tier is skipped),
 # which writes target/bench/BENCH_<suite>.json; bench_check fails if
-# BENCH_mapping.json or BENCH_gnn.json is missing, malformed, or lacks
-# the required movement/portfolio/GNN entries.
+# BENCH_mapping.json, BENCH_gnn.json, or BENCH_pipeline.json is missing,
+# malformed, or lacks the required entries.
 cargo test -q --offline -p lisa-bench --benches
 cargo run -q --offline -p lisa-bench --bin bench_check
+
+# Pipeline kill/resume smoke: a checkpointed training run stopped after
+# the label stage must resume to a model byte-identical with an
+# uninterrupted run of the same config.
+SMOKE_DIR="target/pipeline-smoke"
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+cargo run -q --release --offline --bin lisa-map -- \
+    train --arch 4x4 --dfgs 6 --quiet --out "$SMOKE_DIR/cold.model"
+cargo run -q --release --offline --bin lisa-map -- \
+    train --arch 4x4 --dfgs 6 --quiet \
+    --checkpoint "$SMOKE_DIR/ckpt" --stop-after labels
+cargo run -q --release --offline --bin lisa-map -- \
+    train --arch 4x4 --dfgs 6 --quiet --resume "$SMOKE_DIR/ckpt"
+cmp "$SMOKE_DIR/cold.model" "$SMOKE_DIR/ckpt/model.lisa-model"
+echo "verify: pipeline resume is byte-identical"
 
 echo "verify: OK"

@@ -1,9 +1,14 @@
 //! `lisa-map` — command-line mapper: place and route a kernel on a
-//! modelled spatial accelerator.
+//! modelled spatial accelerator, or train the label models offline.
 //!
 //! ```text
 //! lisa-map <kernel> [--arch <key>] [--mapper lisa|sa|greedy|ilp]
-//!          [--unroll <k>] [--max-ii <n>] [--seed <n>] [--show]
+//!          [--model <path>] [--unroll <k>] [--max-ii <n>] [--seed <n>]
+//!          [--show]
+//!
+//! lisa-map train [--arch <key>] [--full] [--dfgs <n>] [--seed <n>]
+//!          [--checkpoint <dir>] [--resume <dir>] [--stop-after <stage>]
+//!          [--out <path>] [--verbose] [--quiet]
 //!
 //! kernel:  one of the 12 PolyBench kernels (gemm, atax, ...),
 //!          `core:<kernel>` for the systolic compute core, or
@@ -13,12 +18,24 @@
 //! ```
 //!
 //! The `lisa` mapper trains the GNN label models for the chosen
-//! accelerator on the fly (quick scale); use `--mapper sa` for an
-//! untrained baseline run.
+//! accelerator on the fly (quick scale); pass `--model <path>` to load a
+//! model previously written by `lisa-map train --out`, or use
+//! `--mapper sa` for an untrained baseline run.
+//!
+//! `train` runs the staged pipeline (`generate_dfgs -> generate_labels ->
+//! filter_and_split -> train_nets -> evaluate`) with progress on stderr.
+//! With `--checkpoint <dir>` each stage persists its artifacts as it
+//! goes; `--resume <dir>` picks a killed run back up from those files and
+//! produces a byte-identical model. `--stop-after <stage>` ends the run
+//! early (useful with `--checkpoint` to split work across invocations).
+
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use lisa::arch::Accelerator;
-use lisa::core::{Lisa, LisaConfig};
+use lisa::core::{Lisa, LisaConfig, Pipeline, Stage, MODEL_FILE};
 use lisa::dfg::{generate_random_dfg, polybench, unroll::unroll, Dfg, RandomDfgConfig};
+use lisa::events::{EventSink, StderrObserver};
 use lisa::mapper::display::render;
 use lisa::mapper::exact::{ExactMapper, ExactParams};
 use lisa::mapper::greedy::GreedyMapper;
@@ -29,10 +46,24 @@ struct Options {
     kernel: String,
     arch: String,
     mapper: String,
+    model: Option<PathBuf>,
     unroll: u32,
     max_ii: u32,
     seed: u64,
     show: bool,
+}
+
+struct TrainOptions {
+    arch: String,
+    full: bool,
+    dfgs: Option<usize>,
+    seed: Option<u64>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    stop_after: Option<Stage>,
+    out: Option<PathBuf>,
+    verbose: bool,
+    quiet: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -45,6 +76,7 @@ fn parse_args() -> Result<Options, String> {
         kernel,
         arch: "4x4".to_string(),
         mapper: "lisa".to_string(),
+        model: None,
         unroll: 1,
         max_ii: 16,
         seed: 2022,
@@ -58,6 +90,7 @@ fn parse_args() -> Result<Options, String> {
         match flag.as_str() {
             "--arch" => opts.arch = value("--arch")?,
             "--mapper" => opts.mapper = value("--mapper")?,
+            "--model" => opts.model = Some(PathBuf::from(value("--model")?)),
             "--unroll" => {
                 opts.unroll = value("--unroll")?
                     .parse()
@@ -80,9 +113,90 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+fn parse_train_args() -> Result<TrainOptions, String> {
+    let mut args = std::env::args().skip(2);
+    let mut opts = TrainOptions {
+        arch: "4x4".to_string(),
+        full: false,
+        dfgs: None,
+        seed: None,
+        checkpoint: None,
+        resume: false,
+        stop_after: None,
+        out: None,
+        verbose: false,
+        quiet: false,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", train_usage()))
+        };
+        match flag.as_str() {
+            "--arch" => opts.arch = value("--arch")?,
+            "--full" => opts.full = true,
+            "--dfgs" => {
+                opts.dfgs = Some(
+                    value("--dfgs")?
+                        .parse()
+                        .map_err(|e| format!("bad --dfgs: {e}"))?,
+                )
+            }
+            "--seed" => {
+                opts.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                )
+            }
+            "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--resume" => {
+                opts.checkpoint = Some(PathBuf::from(value("--resume")?));
+                opts.resume = true;
+            }
+            "--stop-after" => {
+                let name = value("--stop-after")?;
+                opts.stop_after = Some(Stage::from_name(&name).ok_or_else(|| {
+                    format!(
+                        "unknown stage `{name}` (stages: {})",
+                        Stage::ALL
+                            .iter()
+                            .map(|s| s.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?)
+            }
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--verbose" => opts.verbose = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(train_usage()),
+            other => return Err(format!("unknown flag {other}\n{}", train_usage())),
+        }
+    }
+    if opts.resume {
+        let dir = opts.checkpoint.as_ref().expect("--resume sets checkpoint");
+        if !dir.is_dir() {
+            return Err(format!(
+                "--resume {}: no such checkpoint directory",
+                dir.display()
+            ));
+        }
+    }
+    Ok(opts)
+}
+
 fn usage() -> String {
     "usage: lisa-map <kernel|core:<kernel>|rand:<seed>> [--arch 3x3|4x4|4x4-lr|4x4-lm|8x8|systolic] \
-     [--mapper lisa|sa|greedy|ilp] [--unroll k] [--max-ii n] [--seed n] [--show]"
+     [--mapper lisa|sa|greedy|ilp] [--model path] [--unroll k] [--max-ii n] [--seed n] [--show]\n\
+     \x20      lisa-map train --help   for offline training"
+        .to_string()
+}
+
+fn train_usage() -> String {
+    "usage: lisa-map train [--arch 3x3|4x4|4x4-lr|4x4-lm|8x8|systolic] [--full] [--dfgs n] \
+     [--seed n] [--checkpoint dir] [--resume dir] [--stop-after stage] [--out path] \
+     [--verbose] [--quiet]"
         .to_string()
 }
 
@@ -115,7 +229,119 @@ fn build_dfg(spec: &str, factor: u32) -> Result<Dfg, String> {
     })
 }
 
+/// The quick-scale config the `lisa` mapper trains (and imports) with.
+fn mapping_config(acc: &Accelerator, seed: u64) -> LisaConfig {
+    let mut config = LisaConfig::fast();
+    config.training_dfgs = 24;
+    config.seed = seed;
+    if acc.is_spatial_only() {
+        config = config.for_systolic();
+    }
+    config
+}
+
+fn run_train(opts: TrainOptions) -> Result<(), String> {
+    let acc = build_arch(&opts.arch)?;
+    let mut config = if opts.full {
+        LisaConfig::default()
+    } else {
+        LisaConfig::fast()
+    };
+    if let Some(n) = opts.dfgs {
+        config.training_dfgs = n;
+    }
+    if let Some(seed) = opts.seed {
+        config.seed = seed;
+    }
+    if acc.is_spatial_only() {
+        config = config.for_systolic();
+    }
+
+    let mut pipeline = Pipeline::new(&acc, config);
+    if !opts.quiet {
+        let observer = if opts.verbose {
+            StderrObserver::verbose()
+        } else {
+            StderrObserver::new()
+        };
+        pipeline = pipeline.with_observer(EventSink::new(Arc::new(observer)));
+    }
+    if let Some(dir) = &opts.checkpoint {
+        pipeline = pipeline.with_checkpoint_dir(dir);
+    } else if opts.stop_after.is_some() && opts.out.is_none() {
+        eprintln!("note: --stop-after without --checkpoint discards all work");
+    }
+    if let Some(stage) = opts.stop_after {
+        pipeline = pipeline.stop_after(stage);
+    }
+
+    let lisa = pipeline.run().map_err(|e| e.to_string())?;
+    match lisa {
+        Some(lisa) => {
+            let stats = lisa.stats();
+            eprintln!(
+                "trained for {}: {} DFGs kept of {}, label accuracies {:?}",
+                acc.name(),
+                stats.dfgs_kept,
+                stats.dfgs_generated,
+                stats.accuracy.values
+            );
+            if let Some(out) = &opts.out {
+                std::fs::write(out, lisa.export_model())
+                    .map_err(|e| format!("writing {}: {e}", out.display()))?;
+                eprintln!("model written to {}", out.display());
+            } else if let Some(dir) = &opts.checkpoint {
+                eprintln!("model written to {}", dir.join(MODEL_FILE).display());
+            } else {
+                // No destination given: emit the model on stdout so the
+                // run is not thrown away (`lisa-map train > model.txt`).
+                print!("{}", lisa.export_model());
+            }
+        }
+        None => {
+            let stage = opts.stop_after.expect("run ends early only on stop_after");
+            match &opts.checkpoint {
+                Some(dir) => eprintln!(
+                    "stopped after {stage}; artifacts in {} (resume with --resume)",
+                    dir.display()
+                ),
+                None => eprintln!("stopped after {stage}"),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn load_model(path: &PathBuf, acc: &Accelerator, seed: u64) -> Result<Lisa, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let lisa = Lisa::import_model(&mapping_config(acc, seed), &text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    if lisa.accelerator_name() != acc.name() {
+        eprintln!(
+            "warning: model was trained for {} but mapping on {}",
+            lisa.accelerator_name(),
+            acc.name()
+        );
+    }
+    Ok(lisa)
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("train") {
+        let opts = match parse_train_args() {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(msg) = run_train(opts) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {
@@ -151,14 +377,24 @@ fn main() {
     };
     let (outcome, mapping) = match opts.mapper.as_str() {
         "lisa" => {
-            eprintln!("training label models (quick scale)...");
-            let mut config = LisaConfig::fast();
-            config.training_dfgs = 24;
-            config.seed = opts.seed;
-            if acc.is_spatial_only() {
-                config = config.for_systolic();
-            }
-            let lisa = Lisa::train_for(&acc, &config);
+            let lisa = if let Some(path) = &opts.model {
+                match load_model(path, &acc, opts.seed) {
+                    Ok(l) => l,
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                eprintln!("training label models (quick scale)...");
+                match Lisa::train_for(&acc, &mapping_config(&acc, opts.seed)) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("training failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            };
             lisa.map_capped(&dfg, &acc, opts.max_ii)
         }
         "sa" => {

@@ -24,7 +24,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let acc = Accelerator::cgra("4x4", 4, 4);
-//! let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+//! let lisa = Lisa::train_for(&acc, &LisaConfig::fast())?;
 //! let dfg = polybench::kernel("doitgen")?;
 //! let (outcome, _) = lisa.map_capped(&dfg, &acc, 8);
 //! assert!(outcome.mapped());
@@ -35,6 +35,7 @@
 pub use lisa_arch as arch;
 pub use lisa_core as core;
 pub use lisa_dfg as dfg;
+pub use lisa_events as events;
 pub use lisa_gnn as gnn;
 pub use lisa_labels as labels;
 pub use lisa_mapper as mapper;

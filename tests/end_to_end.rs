@@ -10,7 +10,7 @@ use lisa::mapper::{SaMapper, SaParams};
 #[test]
 fn train_predict_map_verify_on_4x4() {
     let acc = Accelerator::cgra("4x4", 4, 4);
-    let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast()).unwrap();
 
     for name in ["doitgen", "gemm", "mvt"] {
         let dfg = polybench::kernel(name).unwrap();
@@ -32,7 +32,7 @@ fn train_predict_map_verify_on_4x4() {
 #[test]
 fn lisa_matches_or_beats_sa_on_small_kernels() {
     let acc = Accelerator::cgra("4x4", 4, 4);
-    let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast()).unwrap();
     let search = IiSearch { max_ii: Some(12) };
 
     let mut lisa_total = 0u32;
@@ -56,7 +56,7 @@ fn lisa_matches_or_beats_sa_on_small_kernels() {
 #[test]
 fn systolic_pipeline_end_to_end() {
     let acc = Accelerator::systolic("systolic-5x5", 5, 5);
-    let lisa = Lisa::train_for(&acc, &LisaConfig::fast().for_systolic());
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast().for_systolic()).unwrap();
     // At least the simplest core must map on the systolic array.
     let dfg = polybench::kernel_core("doitgen").unwrap();
     let (outcome, mapping) = lisa.map(&dfg, &acc);
@@ -71,7 +71,7 @@ fn systolic_pipeline_end_to_end() {
 #[test]
 fn accuracy_report_has_four_fractions() {
     let acc = Accelerator::cgra("3x3", 3, 3);
-    let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast()).unwrap();
     let report = lisa.stats();
     assert_eq!(report.accuracy.values.len(), 4);
     for v in report.accuracy.values {
@@ -86,7 +86,7 @@ fn unrolled_kernel_maps_on_8x8() {
     // The Fig. 9f scenario at test scale: one unrolled kernel on the big
     // array, which has plenty of resources.
     let acc = Accelerator::cgra("8x8", 8, 8);
-    let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast()).unwrap();
     let dfg = lisa::dfg::unroll::unroll(&polybench::kernel("gemm").unwrap(), 2);
     let (outcome, mapping) = lisa.map_capped(&dfg, &acc, 10);
     assert!(outcome.mapped(), "gemm_u2 must map on an 8x8 CGRA");

@@ -9,7 +9,7 @@ use lisa::dfg::polybench;
 #[test]
 fn model_roundtrips_through_a_file() {
     let acc = Accelerator::cgra("4x4", 4, 4);
-    let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast()).unwrap();
 
     let dir = std::env::temp_dir().join("lisa-model-test");
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -42,7 +42,7 @@ fn model_roundtrips_through_a_file() {
 #[test]
 fn corrupted_model_is_rejected_cleanly() {
     let acc = Accelerator::cgra("3x3", 3, 3);
-    let lisa = Lisa::train_for(&acc, &LisaConfig::fast());
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast()).unwrap();
     let mut text = lisa.export_model();
     // Corrupt a weight line in the middle.
     let mid = text.len() / 2;
@@ -53,7 +53,7 @@ fn corrupted_model_is_rejected_cleanly() {
 #[test]
 fn exported_model_names_its_accelerator() {
     let acc = Accelerator::systolic("systolic-5x5", 5, 5);
-    let lisa = Lisa::train_for(&acc, &LisaConfig::fast().for_systolic());
+    let lisa = Lisa::train_for(&acc, &LisaConfig::fast().for_systolic()).unwrap();
     let text = lisa.export_model();
     assert!(text.starts_with("lisa-model v1\naccelerator systolic-5x5\n"));
     let restored = Lisa::import_model(&LisaConfig::fast(), &text).unwrap();

@@ -1,0 +1,207 @@
+//! Integration tests for the staged training pipeline: checkpoint
+//! artifacts, kill-and-resume byte-identity, and typed failures.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use lisa::arch::Accelerator;
+use lisa::core::{
+    Lisa, LisaConfig, Pipeline, Stage, TrainError, DATASET_FILE, DFGS_FILE, MODEL_FILE,
+};
+use lisa::events::{EventSink, PipelineEvent, RecordingObserver};
+
+/// A pipeline config small enough to run three times in one test.
+fn tiny_config() -> LisaConfig {
+    LisaConfig {
+        training_dfgs: 6,
+        ..LisaConfig::fast()
+    }
+}
+
+/// Fresh scratch directory for one test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lisa-pipeline-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn resumed_run_exports_a_byte_identical_model() {
+    let acc = Accelerator::cgra("4x4", 4, 4);
+    let config = tiny_config();
+
+    // Reference: one cold, uncheckpointed run.
+    let cold = Pipeline::new(&acc, config.clone())
+        .run()
+        .unwrap()
+        .expect("cold run completes");
+    let cold_model = cold.export_model();
+
+    // "Killed" run: checkpoint through the label stage, then chop the
+    // dataset file mid-entry, as a kill during a flush would.
+    let dir = scratch("resume");
+    let stopped = Pipeline::new(&acc, config.clone())
+        .with_checkpoint_dir(&dir)
+        .stop_after(Stage::GenerateLabels)
+        .run()
+        .unwrap();
+    assert!(stopped.is_none(), "stop_after returns no model");
+    let dataset_path = dir.join(DATASET_FILE);
+    let full = std::fs::read_to_string(&dataset_path).unwrap();
+    let lines: Vec<&str> = full.lines().collect();
+    let cut = lines.len() * 3 / 5;
+    std::fs::write(&dataset_path, format!("{}\n", lines[..cut].join("\n"))).unwrap();
+
+    // Resume and observe which entries were recovered vs regenerated.
+    let recorder = Arc::new(RecordingObserver::default());
+    let resumed = Pipeline::new(&acc, config)
+        .with_checkpoint_dir(&dir)
+        .with_observer(EventSink::new(recorder.clone()))
+        .run()
+        .unwrap()
+        .expect("resumed run completes");
+
+    assert_eq!(
+        resumed.export_model(),
+        cold_model,
+        "resumed model differs from the cold run"
+    );
+    // The Evaluate stage persisted the same bytes.
+    assert_eq!(
+        std::fs::read_to_string(dir.join(MODEL_FILE)).unwrap(),
+        cold_model
+    );
+    let events = recorder.take();
+    let resumed_entries = events
+        .iter()
+        .filter(|e| matches!(e, PipelineEvent::LabelGenFinished { resumed: true, .. }))
+        .count();
+    let fresh_entries = events
+        .iter()
+        .filter(|e| matches!(e, PipelineEvent::LabelGenFinished { resumed: false, .. }))
+        .count();
+    assert!(resumed_entries >= 1, "no entry was recovered");
+    assert!(fresh_entries >= 1, "no entry was regenerated");
+    assert_eq!(resumed_entries + fresh_entries, 6);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpointed_run_leaves_complete_artifacts() {
+    let acc = Accelerator::cgra("4x4", 4, 4);
+    let dir = scratch("artifacts");
+    let lisa = Pipeline::new(&acc, tiny_config())
+        .with_checkpoint_dir(&dir)
+        .run()
+        .unwrap()
+        .expect("run completes");
+
+    let dfgs =
+        lisa::dfg::text::parse_dfg_set(&std::fs::read_to_string(dir.join(DFGS_FILE)).unwrap())
+            .unwrap();
+    assert_eq!(dfgs.len(), 6);
+    let dataset =
+        lisa::labels::parse_dataset(&std::fs::read_to_string(dir.join(DATASET_FILE)).unwrap())
+            .unwrap();
+    assert!(dataset.is_complete());
+    assert_eq!(dataset.accelerator, "4x4");
+    for (entry, dfg) in dataset.entries.iter().zip(&dfgs) {
+        assert_eq!(&entry.dfg, dfg, "dataset and DFG artifacts disagree");
+    }
+    let model_text = std::fs::read_to_string(dir.join(MODEL_FILE)).unwrap();
+    assert_eq!(model_text, lisa.export_model());
+    let restored = Lisa::import_model(&tiny_config(), &model_text).unwrap();
+    assert_eq!(restored.accelerator_name(), "4x4");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_surviving_dataset_is_a_typed_error() {
+    // A 1x1 fabric with a capped config depth cannot map the 6-12 node
+    // training DFGs, so nothing survives and training must fail loudly.
+    let acc = Accelerator::cgra("1x1", 1, 1).with_max_ii(2);
+    let err = Lisa::train_for(&acc, &tiny_config()).unwrap_err();
+    match err {
+        TrainError::EmptyDataset {
+            generated,
+            labelled,
+        } => {
+            assert_eq!(generated, 6);
+            assert_eq!(labelled, 0);
+        }
+        other => panic!("expected EmptyDataset, got {other}"),
+    }
+}
+
+#[test]
+fn resume_rejects_a_mismatched_checkpoint() {
+    let acc = Accelerator::cgra("4x4", 4, 4);
+    let dir = scratch("mismatch");
+    Pipeline::new(&acc, tiny_config())
+        .with_checkpoint_dir(&dir)
+        .stop_after(Stage::GenerateLabels)
+        .run()
+        .unwrap();
+
+    // A different seed regenerates different DFGs: resuming must refuse
+    // rather than silently splice datasets from two different runs.
+    let other_seed = LisaConfig {
+        seed: 777,
+        ..tiny_config()
+    };
+    let err = Pipeline::new(&acc, other_seed)
+        .with_checkpoint_dir(&dir)
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, TrainError::ResumeMismatch { .. }),
+        "expected ResumeMismatch, got {err}"
+    );
+
+    // A different accelerator must be refused too.
+    let other_acc = Accelerator::cgra("3x3", 3, 3);
+    let err = Pipeline::new(&other_acc, tiny_config())
+        .with_checkpoint_dir(&dir)
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, TrainError::ResumeMismatch { .. }),
+        "expected ResumeMismatch, got {err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn observer_does_not_change_the_trained_model() {
+    let acc = Accelerator::cgra("3x3", 3, 3);
+    let config = tiny_config();
+    let silent = Pipeline::new(&acc, config.clone()).run().unwrap().unwrap();
+    let recorder = Arc::new(RecordingObserver::default());
+    let observed = Pipeline::new(&acc, config)
+        .with_observer(EventSink::new(recorder.clone()))
+        .run()
+        .unwrap()
+        .unwrap();
+    assert_eq!(silent.export_model(), observed.export_model());
+
+    // The stage events bracket the run in order.
+    let events = recorder.take();
+    let stages: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            PipelineEvent::StageStarted { stage } => Some(*stage),
+            _ => None,
+        })
+        .collect();
+    let expected: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+    assert_eq!(stages, expected);
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, PipelineEvent::EpochLoss { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, PipelineEvent::FilterDecision { .. })));
+}
