@@ -198,6 +198,28 @@ impl Accelerator {
         self
     }
 
+    /// Stable keys of the named accelerator catalog ([`Self::standard`]),
+    /// in the order the experiment tables use.
+    pub const STANDARD_KEYS: [&'static str; 6] =
+        ["3x3", "4x4", "4x4-lr", "4x4-lm", "8x8", "systolic"];
+
+    /// The named accelerator catalog shared by the CLI tools and the
+    /// serving daemon: one stable key per modelled fabric of the paper's
+    /// evaluation (§VI). Returns `None` for an unknown key.
+    pub fn standard(key: &str) -> Option<Self> {
+        Some(match key {
+            "3x3" => Accelerator::cgra("3x3", 3, 3),
+            "4x4" => Accelerator::cgra("4x4", 4, 4),
+            "4x4-lr" => Accelerator::cgra("4x4-lr", 4, 4).with_regs_per_pe(1),
+            "4x4-lm" => {
+                Accelerator::cgra("4x4-lm", 4, 4).with_memory(MemoryConnectivity::LeftColumn)
+            }
+            "8x8" => Accelerator::cgra("8x8", 8, 8),
+            "systolic" => Accelerator::systolic("systolic-5x5", 5, 5),
+            _ => return None,
+        })
+    }
+
     /// Overrides the configuration depth, i.e. the maximum II.
     pub fn with_max_ii(mut self, max_ii: u32) -> Self {
         assert!(max_ii >= 1);
@@ -489,6 +511,20 @@ fn systolic_neighbors(rows: usize, cols: usize) -> Vec<Vec<PeId>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn standard_catalog_covers_every_key() {
+        for key in Accelerator::STANDARD_KEYS {
+            let acc = Accelerator::standard(key).expect("catalog key builds");
+            assert!(acc.pe_count() > 0, "{key} is degenerate");
+        }
+        assert!(Accelerator::standard("16x16").is_none());
+        // The systolic entry keeps its descriptive fabric name.
+        assert_eq!(
+            Accelerator::standard("systolic").unwrap().name(),
+            "systolic-5x5"
+        );
+    }
 
     #[test]
     fn mesh_neighbor_counts() {

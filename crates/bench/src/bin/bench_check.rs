@@ -3,10 +3,11 @@
 //! `scripts/verify.sh` runs the bench targets in smoke mode (via `cargo
 //! test`), which writes `BENCH_<suite>.json` with single-shot timings,
 //! then runs this binary. It fails (exit 1) when `BENCH_mapping.json`,
-//! `BENCH_gnn.json`, or `BENCH_pipeline.json` is missing, malformed, or
-//! lacks the entries the incremental-annealer, batched-GNN, and artifact
-//! round-trip work is benchmarked by — so a refactor that silently drops
-//! a bench registration breaks verify, not just the numbers.
+//! `BENCH_gnn.json`, `BENCH_pipeline.json`, or `BENCH_serve.json` is
+//! missing, malformed, or lacks the entries the incremental-annealer,
+//! batched-GNN, artifact round-trip, and serving-cache work is
+//! benchmarked by — so a refactor that silently drops a bench
+//! registration breaks verify, not just the numbers.
 
 use lisa_bench::timing::bench_dir;
 
@@ -37,6 +38,16 @@ const REQUIRED_PIPELINE: &[&str] = &[
     "stage/generate_dfgs_12",
     "artifacts/dfg_set_round_trip_12",
     "artifacts/dataset_round_trip_12",
+];
+
+/// Serve-suite entries every run must produce: per-tier response cost
+/// and the load-generator replay. (The sustained-load entry is heavy
+/// tier and absent in smoke mode.)
+const REQUIRED_SERVE: &[&str] = &[
+    "engine/hit_memory",
+    "engine/hit_disk",
+    "engine/miss_compute",
+    "load/replay_24",
 ];
 
 fn fail(msg: &str) -> ! {
@@ -90,6 +101,7 @@ fn main() {
         ("mapping", REQUIRED_MAPPING),
         ("gnn", REQUIRED_GNN),
         ("pipeline", REQUIRED_PIPELINE),
+        ("serve", REQUIRED_SERVE),
     ];
     for (suite, required) in suites {
         let mode = check_suite(suite, required);

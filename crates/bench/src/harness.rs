@@ -188,8 +188,10 @@ impl Harness {
             .expect("pipeline without stop_after runs to completion");
         let stats = lisa.stats();
         eprintln!(
-            "[harness] trained: {}/{} DFGs kept, accuracy {:?}",
-            stats.dfgs_kept, stats.dfgs_generated, stats.accuracy.values
+            "[harness] trained: {}/{} DFGs kept, accuracy {}",
+            stats.dfgs_kept,
+            stats.dfgs_generated,
+            stats.accuracy.summary()
         );
         lisa
     }

@@ -10,7 +10,7 @@
 use lisa_arch::Accelerator;
 use lisa_dfg::Dfg;
 use lisa_gnn::dataset::NodeGraphSample;
-use lisa_gnn::metrics::{accuracy, LabelKind};
+use lisa_gnn::metrics::{try_accuracy, LabelKind};
 use lisa_gnn::models::{EdgeMlp, ScheduleOrderNet, SpatialNet};
 use lisa_labels::attributes::{DfgAttributes, DUMMY_ATTR_DIM, EDGE_ATTR_DIM, NODE_ATTR_DIM};
 use lisa_labels::TrainingSet;
@@ -233,8 +233,8 @@ impl Lisa {
                 dfgs_labelled: 0,
                 dfgs_kept: 0,
                 dfgs_holdout: 0,
-                final_losses: [f64::NAN; 4],
-                accuracy: LabelAccuracy { values: [0.0; 4] },
+                final_losses: [None; 4],
+                accuracy: LabelAccuracy { values: [None; 4] },
             },
         })
     }
@@ -247,12 +247,27 @@ impl Lisa {
         acc: &'a Accelerator,
         max_ii: u32,
     ) -> (MappingOutcome, Option<Mapping<'a>>) {
+        self.map_request(dfg, acc, self.config.seed, max_ii, self.config.parallelism)
+    }
+
+    /// Maps with an explicit seed, II cap, and worker budget — the
+    /// pool-friendly entry point: `&self` is shared read-only, so one
+    /// warm model can serve many concurrent requests, each with its own
+    /// seed and thread budget, without cloning the networks.
+    pub fn map_request<'a>(
+        &self,
+        dfg: &'a Dfg,
+        acc: &'a Accelerator,
+        seed: u64,
+        max_ii: u32,
+        parallelism: usize,
+    ) -> (MappingOutcome, Option<Mapping<'a>>) {
         let labels = self.predict_labels(dfg);
-        let mapper = LabelSaMapper::new(labels, self.config.sa.clone(), self.config.seed);
+        let mapper = LabelSaMapper::new(labels, self.config.sa.clone(), seed);
         IiSearch {
             max_ii: Some(max_ii),
         }
-        .run_with_mapping_par(&mapper, dfg, acc, self.config.parallelism)
+        .run_with_mapping_par(&mapper, dfg, acc, parallelism)
     }
 }
 
@@ -290,12 +305,14 @@ pub(crate) fn evaluate_accuracy(
         .collect();
     let tp_truths: Vec<f64> = set.temporal.iter().map(|s| s.target).collect();
 
+    // `try_accuracy` yields None for an empty split: a fully-filtered
+    // holdout renders "n/a" in Table II instead of a fake 0.0 score.
     LabelAccuracy {
         values: [
-            accuracy(LabelKind::ScheduleOrder, &order_preds, &order_truths),
-            accuracy(LabelKind::SameLevel, &sl_preds, &sl_truths),
-            accuracy(LabelKind::Spatial, &sp_preds, &sp_truths),
-            accuracy(LabelKind::Temporal, &tp_preds, &tp_truths),
+            try_accuracy(LabelKind::ScheduleOrder, &order_preds, &order_truths),
+            try_accuracy(LabelKind::SameLevel, &sl_preds, &sl_truths),
+            try_accuracy(LabelKind::Spatial, &sp_preds, &sp_truths),
+            try_accuracy(LabelKind::Temporal, &tp_preds, &tp_truths),
         ],
     }
 }
@@ -334,8 +351,35 @@ mod tests {
     fn accuracy_values_are_fractions() {
         let (lisa, _) = trained_fast();
         for v in lisa.stats().accuracy.values {
+            let v = v.expect("non-empty holdout yields a measured accuracy");
             assert!((0.0..=1.0).contains(&v), "accuracy {v} out of range");
         }
+    }
+
+    #[test]
+    fn empty_eval_split_reports_not_applicable() {
+        // Regression: a fully-filtered (empty) eval split used to feed the
+        // 0.0 empty-input sentinel straight into the Table II row, which
+        // reads as "0% accurate". It must render "n/a" instead.
+        let schedule = ScheduleOrderNet::new(NODE_ATTR_DIM, 1);
+        let same_level = EdgeMlp::new(DUMMY_ATTR_DIM, 2);
+        let spatial = SpatialNet::new(EDGE_ATTR_DIM, 3);
+        let temporal = EdgeMlp::new(EDGE_ATTR_DIM, 4);
+        let empty = TrainingSet::default();
+        let acc = evaluate_accuracy(&schedule, &same_level, &spatial, &temporal, &empty);
+        assert_eq!(acc.values, [None; 4]);
+        let row = acc.table_row("4x4");
+        assert!(row.contains("n/a"), "row was {row:?}");
+        assert!(!row.contains("0.000"), "row was {row:?}");
+    }
+
+    #[test]
+    fn imported_model_has_no_fake_metrics() {
+        let (lisa, _) = trained_fast();
+        let restored = Lisa::import_model(&LisaConfig::fast(), &lisa.export_model()).unwrap();
+        assert_eq!(restored.stats().accuracy.values, [None; 4]);
+        assert_eq!(restored.stats().final_losses, [None; 4]);
+        assert_eq!(restored.stats().losses_summary(), "[n/a n/a n/a n/a]");
     }
 
     #[test]

@@ -44,13 +44,17 @@ mod config;
 mod framework;
 mod model_io;
 mod pipeline;
+mod registry;
 mod report;
+pub mod request;
 
 pub use config::LisaConfig;
 pub use framework::Lisa;
 pub use model_io::ModelImportError;
 pub use pipeline::{Pipeline, Stage, TrainError, DATASET_FILE, DFGS_FILE, MODEL_FILE};
+pub use registry::{ModelRegistry, RegistryError};
 pub use report::{LabelAccuracy, TrainingStats};
+pub use request::{MapRequest, RequestParseError};
 
 /// Any failure the framework can produce: training or model import.
 #[derive(Debug)]

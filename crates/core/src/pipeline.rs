@@ -335,13 +335,16 @@ impl<'a> Pipeline<'a> {
             fs::create_dir_all(dir)?;
             let path = dir.join(DATASET_FILE);
             entries = self.recover_entries(&path, dfgs)?;
-            // Rewrite the recovered prefix (byte-identical: floats use
-            // shortest-round-trip formatting) and keep appending to it.
-            let mut w = DatasetWriter::create(&path, self.acc.name(), dfgs.len())?;
-            for entry in &entries {
-                w.append(entry)?;
-            }
-            writer = Some(w);
+            // Reopen crash-safely: truncate only the torn tail in place,
+            // or atomically replace via tmp+rename — never truncate and
+            // re-append, which would destroy the checkpoint if this run
+            // were killed mid-rewrite.
+            writer = Some(DatasetWriter::resume(
+                &path,
+                self.acc.name(),
+                dfgs.len(),
+                &entries,
+            )?);
         }
         if self.sink.is_active() {
             for (dfg_index, entry) in entries.iter().enumerate() {
@@ -501,11 +504,13 @@ impl<'a> Pipeline<'a> {
             same_level_net,
             spatial_net,
             temporal_net,
+            // A non-finite loss (empty split, diverged net) records as
+            // None so it renders "n/a" instead of leaking NaN into tables.
             final_losses: [
-                r1.final_loss(),
-                r2.final_loss(),
-                r3.final_loss(),
-                r4.final_loss(),
+                finite(r1.final_loss()),
+                finite(r2.final_loss()),
+                finite(r3.final_loss()),
+                finite(r4.final_loss()),
             ],
         }
     }
@@ -570,7 +575,12 @@ struct TrainedNets {
     same_level_net: EdgeMlp,
     spatial_net: SpatialNet,
     temporal_net: EdgeMlp,
-    final_losses: [f64; 4],
+    final_losses: [Option<f64>; 4],
+}
+
+/// Keeps a measured, finite metric; maps NaN/inf to "no data".
+fn finite(v: f64) -> Option<f64> {
+    v.is_finite().then_some(v)
 }
 
 /// The [`LabelGenResult`] summarising one dataset entry.

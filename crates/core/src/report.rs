@@ -2,26 +2,56 @@
 
 use lisa_gnn::metrics::LabelKind;
 
+/// Renders a metric cell: three decimals for a measured value, "n/a"
+/// for "no data" (e.g. an empty eval split, or a model imported from
+/// text whose training metrics were not persisted).
+fn cell(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:>7.3}"),
+        None => format!("{:>7}", "n/a"),
+    }
+}
+
 /// Prediction accuracy of the four label networks on held-out data —
 /// one row of the paper's Table II.
+///
+/// Each entry is `None` when there was nothing to measure against (an
+/// empty holdout split after filtering, or an imported model), so "no
+/// data" can never masquerade as a 0.0 score in summary tables.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LabelAccuracy {
     /// Accuracy per label, indexed by `LabelKind::id() - 1`.
-    pub values: [f64; 4],
+    pub values: [Option<f64>; 4],
 }
 
 impl LabelAccuracy {
-    /// Accuracy of one label.
-    pub fn get(&self, kind: LabelKind) -> f64 {
+    /// Accuracy of one label, `None` when unmeasured.
+    pub fn get(&self, kind: LabelKind) -> Option<f64> {
         self.values[usize::from(kind.id() - 1)]
     }
 
-    /// Formats the row as Table II does.
+    /// Formats the row as Table II does; unmeasured cells read "n/a".
     pub fn table_row(&self, arch: &str) -> String {
         format!(
-            "{arch:<28} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
-            self.values[0], self.values[1], self.values[2], self.values[3]
+            "{arch:<28} {} {} {} {}",
+            cell(self.values[0]),
+            cell(self.values[1]),
+            cell(self.values[2]),
+            cell(self.values[3])
         )
+    }
+
+    /// Compact bracketed form for logs: `[0.788 0.856 n/a 0.992]`.
+    pub fn summary(&self) -> String {
+        let cells: Vec<String> = self
+            .values
+            .iter()
+            .map(|v| match v {
+                Some(v) => format!("{v:.3}"),
+                None => "n/a".to_string(),
+            })
+            .collect();
+        format!("[{}]", cells.join(" "))
     }
 }
 
@@ -36,10 +66,26 @@ pub struct TrainingStats {
     pub dfgs_kept: usize,
     /// Graphs held out for accuracy evaluation.
     pub dfgs_holdout: usize,
-    /// Final training loss of each label network (Table I order).
-    pub final_losses: [f64; 4],
+    /// Final training loss of each label network (Table I order);
+    /// `None` when unknown (imported model) or non-finite.
+    pub final_losses: [Option<f64>; 4],
     /// Held-out accuracy (Table II).
     pub accuracy: LabelAccuracy,
+}
+
+impl TrainingStats {
+    /// Compact final-loss form for logs: `[0.012 0.034 n/a 0.001]`.
+    pub fn losses_summary(&self) -> String {
+        let cells: Vec<String> = self
+            .final_losses
+            .iter()
+            .map(|v| match v {
+                Some(v) => format!("{v:.4}"),
+                None => "n/a".to_string(),
+            })
+            .collect();
+        format!("[{}]", cells.join(" "))
+    }
 }
 
 #[cfg(test)]
@@ -49,20 +95,37 @@ mod tests {
     #[test]
     fn accessor_matches_index() {
         let acc = LabelAccuracy {
-            values: [0.1, 0.2, 0.3, 0.4],
+            values: [Some(0.1), Some(0.2), Some(0.3), None],
         };
-        assert_eq!(acc.get(LabelKind::ScheduleOrder), 0.1);
-        assert_eq!(acc.get(LabelKind::Temporal), 0.4);
+        assert_eq!(acc.get(LabelKind::ScheduleOrder), Some(0.1));
+        assert_eq!(acc.get(LabelKind::Temporal), None);
     }
 
     #[test]
     fn table_row_contains_all_values() {
         let acc = LabelAccuracy {
-            values: [0.788, 0.856, 0.932, 0.992],
+            values: [Some(0.788), Some(0.856), Some(0.932), Some(0.992)],
         };
         let row = acc.table_row("4x4 baseline");
         assert!(row.contains("4x4 baseline"));
         assert!(row.contains("0.788"));
         assert!(row.contains("0.992"));
+    }
+
+    #[test]
+    fn unmeasured_cells_render_na_not_zero() {
+        let acc = LabelAccuracy { values: [None; 4] };
+        let row = acc.table_row("1x1 degenerate");
+        assert!(row.contains("n/a"));
+        assert!(!row.contains("0.000"), "no fake score for missing data");
+        assert_eq!(acc.summary(), "[n/a n/a n/a n/a]");
+    }
+
+    #[test]
+    fn summaries_mix_measured_and_missing() {
+        let acc = LabelAccuracy {
+            values: [Some(0.5), None, Some(1.0), None],
+        };
+        assert_eq!(acc.summary(), "[0.500 n/a 1.000 n/a]");
     }
 }

@@ -87,6 +87,38 @@ pub enum PipelineEvent {
         /// Mean loss of the epoch.
         loss: f64,
     },
+    /// A mapping-service request entered the daemon (serve lifecycle:
+    /// enqueue → cache-probe → anneal → respond).
+    ServeEnqueued {
+        /// Monotonic per-daemon request id.
+        request: u64,
+        /// Requests already waiting for a compute slot.
+        queue_depth: usize,
+    },
+    /// The content-addressed cache was probed for a request.
+    ServeCacheProbe {
+        /// Request id.
+        request: u64,
+        /// Hex cache key (FNV-1a 64 of the canonical request text).
+        key: u64,
+        /// Which tier answered: `"memory"`, `"disk"`, or `"none"`.
+        tier: &'static str,
+    },
+    /// A cache miss entered the annealer (the expensive path).
+    ServeAnnealStarted {
+        /// Request id.
+        request: u64,
+    },
+    /// The daemon answered a request.
+    ServeResponded {
+        /// Request id.
+        request: u64,
+        /// How it was served: `"hit_memory"`, `"hit_disk"`, `"computed"`,
+        /// `"coalesced"`, `"overloaded"`, or `"error"`.
+        disposition: &'static str,
+        /// Wall-clock time from enqueue to response.
+        duration: Duration,
+    },
     /// Per-temperature snapshot of a simulated-annealing chain (the
     /// replacement for the `LISA_SA_DEBUG` env-var path).
     SaSnapshot {
@@ -121,6 +153,10 @@ impl PipelineEvent {
             PipelineEvent::LabelGenFinished { .. } => "label_gen_finished",
             PipelineEvent::FilterDecision { .. } => "filter_decision",
             PipelineEvent::EpochLoss { .. } => "epoch_loss",
+            PipelineEvent::ServeEnqueued { .. } => "serve_enqueued",
+            PipelineEvent::ServeCacheProbe { .. } => "serve_cache_probe",
+            PipelineEvent::ServeAnnealStarted { .. } => "serve_anneal_started",
+            PipelineEvent::ServeResponded { .. } => "serve_responded",
             PipelineEvent::SaSnapshot { .. } => "sa_snapshot",
         }
     }
@@ -206,6 +242,33 @@ impl PipelineEvent {
                 fields.push(format!("\"epoch\":{epoch}"));
                 fields.push(format!("\"loss\":{}", json_f64(*loss)));
             }
+            PipelineEvent::ServeEnqueued {
+                request,
+                queue_depth,
+            } => {
+                fields.push(format!("\"request\":{request}"));
+                fields.push(format!("\"queue_depth\":{queue_depth}"));
+            }
+            PipelineEvent::ServeCacheProbe { request, key, tier } => {
+                fields.push(format!("\"request\":{request}"));
+                fields.push(format!("\"key\":\"{key:016x}\""));
+                fields.push(format!("\"tier\":\"{tier}\""));
+            }
+            PipelineEvent::ServeAnnealStarted { request } => {
+                fields.push(format!("\"request\":{request}"));
+            }
+            PipelineEvent::ServeResponded {
+                request,
+                disposition,
+                duration,
+            } => {
+                fields.push(format!("\"request\":{request}"));
+                fields.push(format!("\"disposition\":\"{disposition}\""));
+                fields.push(format!(
+                    "\"duration_ms\":{:.3}",
+                    duration.as_secs_f64() * 1e3
+                ));
+            }
             PipelineEvent::SaSnapshot {
                 chain,
                 ii,
@@ -277,6 +340,21 @@ mod tests {
                 network: "n",
                 epoch: 0,
                 loss: 0.5,
+            },
+            PipelineEvent::ServeEnqueued {
+                request: 1,
+                queue_depth: 0,
+            },
+            PipelineEvent::ServeCacheProbe {
+                request: 1,
+                key: 0xfeed,
+                tier: "memory",
+            },
+            PipelineEvent::ServeAnnealStarted { request: 1 },
+            PipelineEvent::ServeResponded {
+                request: 1,
+                disposition: "computed",
+                duration: Duration::ZERO,
             },
             PipelineEvent::SaSnapshot {
                 chain: 0,

@@ -127,6 +127,26 @@ impl StderrObserver {
                      unplaced={unplaced} unrouted={unrouted} acc={accepted}/{attempted}"
                 )
             }),
+            PipelineEvent::ServeEnqueued {
+                request,
+                queue_depth,
+            } => self
+                .verbose
+                .then(|| format!("[serve] request {request}: enqueued (queue {queue_depth})")),
+            PipelineEvent::ServeCacheProbe { request, key, tier } => self
+                .verbose
+                .then(|| format!("[serve] request {request}: cache {key:016x} -> {tier}")),
+            PipelineEvent::ServeAnnealStarted { request } => self
+                .verbose
+                .then(|| format!("[serve] request {request}: annealing")),
+            PipelineEvent::ServeResponded {
+                request,
+                disposition,
+                duration,
+            } => Some(format!(
+                "[serve] request {request}: {disposition} in {:.1}ms",
+                duration.as_secs_f64() * 1e3
+            )),
         }
     }
 }

@@ -60,22 +60,35 @@ pub fn is_accurate(kind: LabelKind, prediction: f64, truth: f64) -> bool {
     }
 }
 
-/// Fraction of accurate predictions (0 for empty input).
+/// Fraction of accurate predictions, or `None` for empty input.
+///
+/// `None` is "no data", which is distinct from "0% accurate" — use this
+/// variant wherever the result ends up in a summary table so an empty
+/// eval split renders as "n/a" instead of a fake score.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
-pub fn accuracy(kind: LabelKind, predictions: &[f64], truths: &[f64]) -> f64 {
+pub fn try_accuracy(kind: LabelKind, predictions: &[f64], truths: &[f64]) -> Option<f64> {
     assert_eq!(predictions.len(), truths.len(), "length mismatch");
     if predictions.is_empty() {
-        return 0.0;
+        return None;
     }
     let hits = predictions
         .iter()
         .zip(truths)
         .filter(|&(&p, &t)| is_accurate(kind, p, t))
         .count();
-    hits as f64 / predictions.len() as f64
+    Some(hits as f64 / predictions.len() as f64)
+}
+
+/// Fraction of accurate predictions (0 for empty input).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(kind: LabelKind, predictions: &[f64], truths: &[f64]) -> f64 {
+    try_accuracy(kind, predictions, truths).unwrap_or(0.0)
 }
 
 /// Mean squared error of a prediction set.
@@ -89,16 +102,28 @@ pub fn accuracy(kind: LabelKind, predictions: &[f64], truths: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn mse(predictions: &[f64], truths: &[f64]) -> f64 {
+    try_mse(predictions, truths).unwrap_or(0.0)
+}
+
+/// Mean squared error, or `None` for empty input (the "no data" case
+/// that [`mse`]'s 0.0 sentinel cannot distinguish from a perfect fit).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn try_mse(predictions: &[f64], truths: &[f64]) -> Option<f64> {
     assert_eq!(predictions.len(), truths.len(), "length mismatch");
     if predictions.is_empty() {
-        return 0.0;
+        return None;
     }
-    predictions
-        .iter()
-        .zip(truths)
-        .map(|(&p, &t)| (p - t) * (p - t))
-        .sum::<f64>()
-        / predictions.len() as f64
+    Some(
+        predictions
+            .iter()
+            .zip(truths)
+            .map(|(&p, &t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / predictions.len() as f64,
+    )
 }
 
 #[cfg(test)]
@@ -131,6 +156,14 @@ mod tests {
         let acc = accuracy(LabelKind::Spatial, &preds, &truths);
         assert!((acc - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(accuracy(LabelKind::Spatial, &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn try_variants_distinguish_no_data_from_zero() {
+        assert_eq!(try_accuracy(LabelKind::Spatial, &[], &[]), None);
+        assert_eq!(try_mse(&[], &[]), None);
+        assert_eq!(try_accuracy(LabelKind::Spatial, &[1.0], &[1.0]), Some(1.0));
+        assert_eq!(try_mse(&[1.0], &[0.0]), Some(1.0));
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //! rewrites.
 
 use std::fmt;
-use std::fs::File;
+use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::Path;
 
@@ -296,6 +296,67 @@ impl DatasetWriter {
         file.write_all(write_dataset_header(accelerator, count).as_bytes())?;
         file.flush()?;
         Ok(DatasetWriter { file, written: 0 })
+    }
+
+    /// Reopens a dataset checkpoint for appending after `entries` were
+    /// recovered from it, without ever holding the file in a destroyed
+    /// state.
+    ///
+    /// The expected on-disk prefix (header plus the recovered entries) is
+    /// re-serialized — byte-identical, thanks to shortest-round-trip float
+    /// formatting. If the existing file starts with exactly those bytes,
+    /// the file is truncated to the prefix length in place, dropping only
+    /// the torn tail a killed writer left behind. Otherwise (file missing,
+    /// or bytes that disagree with the recovered entries) the prefix is
+    /// written to a `.tmp` sibling, synced, and atomically renamed over
+    /// the target. Either way a crash at any instant leaves a file whose
+    /// complete leading entries are recoverable — never a truncated-then-
+    /// partially-rewritten checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn resume(
+        path: &Path,
+        accelerator: &str,
+        count: usize,
+        entries: &[DatasetEntry],
+    ) -> io::Result<Self> {
+        let mut prefix = write_dataset_header(accelerator, count);
+        for (i, entry) in entries.iter().enumerate() {
+            write_entry_into(&mut prefix, i, entry);
+        }
+        let prefix = prefix.into_bytes();
+
+        let existing = match fs::read(path) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        if let Some(bytes) = existing {
+            if bytes.len() >= prefix.len() && bytes[..prefix.len()] == prefix[..] {
+                // In append mode every write lands at the (new) end, so
+                // truncating the torn tail is the only mutation needed.
+                let file = OpenOptions::new().append(true).open(path)?;
+                file.set_len(prefix.len() as u64)?;
+                return Ok(DatasetWriter {
+                    file,
+                    written: entries.len(),
+                });
+            }
+        }
+
+        let tmp = path.with_extension("tmp");
+        let mut f = File::create(&tmp)?;
+        f.write_all(&prefix)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(DatasetWriter {
+            file,
+            written: entries.len(),
+        })
     }
 
     /// Appends and flushes one entry.
@@ -641,6 +702,84 @@ mod format_tests {
         let on_disk = std::fs::read_to_string(&path).unwrap();
         assert_eq!(on_disk, write_dataset(&ds));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_truncates_only_the_torn_tail_in_place() {
+        let ds = sample_dataset(31, 4);
+        let dir = std::env::temp_dir().join("lisa_dataset_resume_tail");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("labels.lisa-dataset");
+
+        // A killed writer leaves complete entries plus a torn last block.
+        let mut writer = DatasetWriter::create(&path, &ds.accelerator, ds.declared_count).unwrap();
+        for entry in &ds.entries[..2] {
+            writer.append(entry).unwrap();
+        }
+        drop(writer);
+        let mut torn = String::new();
+        write_entry_into(&mut torn, 2, &ds.entries[2]);
+        let torn = &torn[..torn.len() / 2];
+        let complete = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("{complete}{torn}")).unwrap();
+
+        let recovered = parse_dataset_partial(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(recovered.entries.len(), 2);
+        let mut writer = DatasetWriter::resume(
+            &path,
+            &ds.accelerator,
+            ds.declared_count,
+            &recovered.entries,
+        )
+        .unwrap();
+        // The torn tail is gone; the complete prefix survived in place
+        // and was never routed through a temp file.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), complete);
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(writer.written(), 2);
+        for entry in &ds.entries[2..] {
+            writer.append(entry).unwrap();
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), write_dataset(&ds));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_replaces_a_disagreeing_file_atomically() {
+        let ds = sample_dataset(37, 3);
+        let dir = std::env::temp_dir().join("lisa_dataset_resume_rewrite");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("labels.lisa-dataset");
+        std::fs::write(&path, "lisa-dataset v1\naccelerator 4x4\ncount 99\n").unwrap();
+
+        let mut writer =
+            DatasetWriter::resume(&path, &ds.accelerator, ds.declared_count, &ds.entries[..1])
+                .unwrap();
+        assert!(!path.with_extension("tmp").exists(), "tmp file left behind");
+        for entry in &ds.entries[1..] {
+            writer.append(entry).unwrap();
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), write_dataset(&ds));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_creates_a_missing_file() {
+        let ds = sample_dataset(41, 2);
+        let dir = std::env::temp_dir().join("lisa_dataset_resume_fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("labels.lisa-dataset");
+        let mut writer =
+            DatasetWriter::resume(&path, &ds.accelerator, ds.declared_count, &[]).unwrap();
+        assert_eq!(writer.written(), 0);
+        for entry in &ds.entries {
+            writer.append(entry).unwrap();
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), write_dataset(&ds));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! Threads come from `std::thread::scope` — the workspace is hermetic, so
 //! no rayon.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use lisa_arch::Accelerator;
@@ -81,6 +82,12 @@ pub fn available_parallelism() -> usize {
 /// atomic cursor, but each result lands in its item's slot, so the output
 /// is invariant to thread count and scheduling. `parallelism <= 1` (or a
 /// single item) runs inline with no threads at all.
+///
+/// # Panics
+///
+/// A panic inside `f` is re-raised with its original payload. Sibling
+/// workers stop claiming new items as soon as the first panic lands, so
+/// propagation is prompt: only items already in flight finish first.
 pub fn par_map<T, R, F>(parallelism: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -99,9 +106,18 @@ where
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    // Worker panics are caught and stashed here, then re-raised verbatim
+    // after the scope joins. Letting them unwind through the scope instead
+    // would replace the payload with scope's generic "a scoped thread
+    // panicked" message and let every sibling drain the whole queue first.
+    let aborted = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if aborted.load(Ordering::Acquire) {
+                    break;
+                }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -111,11 +127,27 @@ where
                     .expect("item slot poisoned")
                     .take()
                     .expect("each item is claimed exactly once");
-                let r = f(i, item);
-                *results[i].lock().expect("result slot poisoned") = Some(r);
+                match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                    Ok(r) => *results[i].lock().expect("result slot poisoned") = Some(r),
+                    Err(payload) => {
+                        let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        aborted.store(true, Ordering::Release);
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some(payload) = first_panic
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+    {
+        std::panic::resume_unwind(payload);
+    }
     results
         .into_iter()
         .map(|slot| {
@@ -206,6 +238,45 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(4, empty, |_, x: u32| x).is_empty());
         assert_eq!(par_map(4, vec![9], |i, x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn par_map_reraises_the_first_panic_verbatim() {
+        let err = std::panic::catch_unwind(|| {
+            par_map(4, (0..16u64).collect::<Vec<u64>>(), |_, x| {
+                if x == 3 {
+                    panic!("chain {x} exploded with cost {}", x * 2);
+                }
+                x
+            })
+        })
+        .expect_err("a worker panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic! with arguments carries a String payload");
+        assert_eq!(msg, "chain 3 exploded with cost 6");
+    }
+
+    #[test]
+    fn par_map_siblings_stop_after_a_panic() {
+        use std::sync::atomic::AtomicUsize;
+        let processed = AtomicUsize::new(0);
+        let total = 512usize;
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(2, (0..total).collect::<Vec<usize>>(), |_, x| {
+                if x == 0 {
+                    panic!("first item fails");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                processed.fetch_add(1, Ordering::SeqCst);
+            })
+        }));
+        assert!(err.is_err());
+        let done = processed.load(Ordering::SeqCst);
+        assert!(
+            done < total - 1,
+            "siblings drained the whole queue ({done} items) after a panic"
+        );
     }
 
     #[test]

@@ -1,0 +1,506 @@
+//! Request handling: canonicalize → hash → cache probe → single-flight
+//! compute under a bounded admission gate.
+//!
+//! Concurrency structure, outermost first:
+//!
+//! * **Single-flight.** Concurrent identical misses register one
+//!   in-flight entry per key; one caller (the leader) computes, the rest
+//!   block on the entry and receive the same shared body. Determinism
+//!   makes this free: followers lose nothing by not computing.
+//! * **Admission gate.** At most `workers` leaders compute at once; at
+//!   most `queue` more may wait. Beyond that the daemon answers
+//!   `status overloaded` immediately — explicit rejection instead of an
+//!   unbounded queue (the backpressure contract).
+//! * **Portfolio parallelism.** Inside one compute, the existing
+//!   `par_map` portfolio machinery fans out annealing chains across
+//!   `parallelism` threads; thread count never changes the result.
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use lisa_arch::Accelerator;
+use lisa_core::{MapRequest, ModelRegistry};
+use lisa_events::{EventSink, PipelineEvent};
+
+use crate::cache::{CacheTier, ResultCache};
+use crate::protocol::{render_error, render_ok, render_overloaded, render_unmappable};
+
+/// Daemon sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Memory-tier capacity in entries (0 disables the tier).
+    pub mem_cache: usize,
+    /// Disk-tier directory (`None` disables the tier).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Concurrent mapping computations admitted.
+    pub workers: usize,
+    /// Requests allowed to wait for a compute slot before overload.
+    pub queue: usize,
+    /// Annealing-portfolio threads per computation.
+    pub parallelism: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            mem_cache: 256,
+            cache_dir: None,
+            workers: 2,
+            queue: 8,
+            parallelism: 1,
+        }
+    }
+}
+
+/// How one request was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Answered from the in-memory tier.
+    HitMemory,
+    /// Answered from the on-disk tier.
+    HitDisk,
+    /// Computed by this request (the annealer ran).
+    Computed,
+    /// Waited on an identical in-flight computation.
+    Coalesced,
+    /// Rejected: workers and queue were full.
+    Overloaded,
+    /// Malformed request, unknown accelerator, or internal failure.
+    Error,
+}
+
+impl Disposition {
+    /// Stable snake_case name (telemetry and stats use it).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Disposition::HitMemory => "hit_memory",
+            Disposition::HitDisk => "hit_disk",
+            Disposition::Computed => "computed",
+            Disposition::Coalesced => "coalesced",
+            Disposition::Overloaded => "overloaded",
+            Disposition::Error => "error",
+        }
+    }
+}
+
+/// Monotonic counters, readable while the daemon runs.
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    hit_memory: AtomicU64,
+    hit_disk: AtomicU64,
+    anneals: AtomicU64,
+    coalesced: AtomicU64,
+    overloaded: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A point-in-time copy of the daemon counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests received (all dispositions).
+    pub requests: u64,
+    /// Memory-tier cache hits.
+    pub hit_memory: u64,
+    /// Disk-tier cache hits.
+    pub hit_disk: u64,
+    /// Annealer invocations (cache misses actually computed).
+    pub anneals: u64,
+    /// Requests served by waiting on an identical in-flight computation.
+    pub coalesced: u64,
+    /// Requests rejected for overload.
+    pub overloaded: u64,
+    /// Requests answered with `status error`.
+    pub errors: u64,
+}
+
+/// One in-flight computation; followers block on `done`.
+#[derive(Debug, Default)]
+struct Flight {
+    done: Mutex<Option<Arc<String>>>,
+    cv: Condvar,
+}
+
+/// Bounded admission: `active` compute permits plus a bounded wait queue.
+#[derive(Debug)]
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    max_active: usize,
+    max_waiting: usize,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    active: usize,
+    waiting: usize,
+}
+
+impl Gate {
+    fn new(max_active: usize, max_waiting: usize) -> Self {
+        Gate {
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+            max_active: max_active.max(1),
+            max_waiting,
+        }
+    }
+
+    /// Blocks until a permit is free, or fails fast when the wait queue
+    /// is already full.
+    fn acquire(&self) -> Result<(), Overloaded> {
+        let mut s = self.state.lock().expect("gate lock");
+        if s.active < self.max_active {
+            s.active += 1;
+            return Ok(());
+        }
+        if s.waiting >= self.max_waiting {
+            return Err(Overloaded);
+        }
+        s.waiting += 1;
+        loop {
+            s = self.cv.wait(s).expect("gate lock");
+            if s.active < self.max_active {
+                s.active += 1;
+                s.waiting -= 1;
+                return Ok(());
+            }
+        }
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock().expect("gate lock");
+        s.active -= 1;
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    fn waiting(&self) -> usize {
+        self.state.lock().expect("gate lock").waiting
+    }
+}
+
+struct Overloaded;
+
+/// The serving engine: warm models, two-tier cache, single-flight
+/// computation, telemetry. Transport-agnostic — [`crate::server`] feeds
+/// it request payloads.
+pub struct ServeEngine {
+    registry: ModelRegistry,
+    cache: ResultCache,
+    config: ServeConfig,
+    sink: EventSink,
+    counters: Counters,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    gate: Gate,
+    next_request: AtomicU64,
+}
+
+impl ServeEngine {
+    /// Builds an engine over resident models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-directory creation failures.
+    pub fn new(
+        registry: ModelRegistry,
+        config: ServeConfig,
+        sink: EventSink,
+    ) -> std::io::Result<Self> {
+        let cache = ResultCache::new(config.mem_cache, config.cache_dir.clone())?;
+        Ok(ServeEngine {
+            registry,
+            cache,
+            gate: Gate::new(config.workers, config.queue),
+            config,
+            sink,
+            counters: Counters::default(),
+            inflight: Mutex::new(HashMap::new()),
+            next_request: AtomicU64::new(1),
+        })
+    }
+
+    /// The accelerators this engine can map for.
+    pub fn accelerators(&self) -> Vec<&str> {
+        self.registry.accelerators()
+    }
+
+    /// Handles one request document and returns the response body plus
+    /// how it was served.
+    pub fn handle(&self, text: &str) -> (Arc<String>, Disposition) {
+        let id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.sink.emit(PipelineEvent::ServeEnqueued {
+            request: id,
+            queue_depth: self.gate.waiting(),
+        });
+
+        let req = match MapRequest::parse(text) {
+            Ok(req) => req,
+            Err(e) => {
+                let body = Arc::new(render_error(&format!("bad request: {e}")));
+                return self.respond(id, started, body, Disposition::Error);
+            }
+        };
+        let key = req.cache_key();
+
+        if let Some((body, tier)) = self.cache.get(key) {
+            let (tier_name, disposition) = match tier {
+                CacheTier::Memory => ("memory", Disposition::HitMemory),
+                CacheTier::Disk => ("disk", Disposition::HitDisk),
+            };
+            self.sink.emit(PipelineEvent::ServeCacheProbe {
+                request: id,
+                key,
+                tier: tier_name,
+            });
+            return self.respond(id, started, body, disposition);
+        }
+        self.sink.emit(PipelineEvent::ServeCacheProbe {
+            request: id,
+            key,
+            tier: "none",
+        });
+
+        // Single-flight: one leader per key; everyone else waits for its
+        // shared result.
+        let (flight, leader) = {
+            let mut map = self.inflight.lock().expect("inflight lock");
+            match map.get(&key) {
+                Some(flight) => (flight.clone(), false),
+                None => {
+                    let flight = Arc::new(Flight::default());
+                    map.insert(key, flight.clone());
+                    (flight, true)
+                }
+            }
+        };
+        if !leader {
+            let mut done = flight.done.lock().expect("flight lock");
+            while done.is_none() {
+                done = flight.cv.wait(done).expect("flight lock");
+            }
+            let body = done.clone().expect("flight filled before notify");
+            return self.respond(id, started, body, Disposition::Coalesced);
+        }
+
+        let (body, disposition) = match self.gate.acquire() {
+            Err(Overloaded) => (Arc::new(render_overloaded()), Disposition::Overloaded),
+            Ok(()) => {
+                self.sink
+                    .emit(PipelineEvent::ServeAnnealStarted { request: id });
+                self.counters.anneals.fetch_add(1, Ordering::Relaxed);
+                let computed = std::panic::catch_unwind(AssertUnwindSafe(|| self.compute(&req)));
+                self.gate.release();
+                match computed {
+                    Ok((body, disposition)) => {
+                        let body = Arc::new(body);
+                        if disposition == Disposition::Computed {
+                            // A failed disk write only costs a future
+                            // recompute; the response already exists.
+                            let _ = self.cache.put(key, body.clone());
+                        }
+                        (body, disposition)
+                    }
+                    Err(_) => (
+                        Arc::new(render_error("internal error: mapping panicked")),
+                        Disposition::Error,
+                    ),
+                }
+            }
+        };
+
+        // Publish to followers before answering, then retire the flight.
+        *flight.done.lock().expect("flight lock") = Some(body.clone());
+        flight.cv.notify_all();
+        self.inflight.lock().expect("inflight lock").remove(&key);
+        self.respond(id, started, body, disposition)
+    }
+
+    /// The miss path: resolve accelerator and model, run the annealer.
+    fn compute(&self, req: &MapRequest) -> (String, Disposition) {
+        let Some(acc) = Accelerator::standard(&req.accelerator) else {
+            return (
+                render_error(&format!("unknown accelerator `{}`", req.accelerator)),
+                Disposition::Error,
+            );
+        };
+        let Some(model) = self.registry.get(acc.name()) else {
+            return (
+                render_error(&format!("no model resident for `{}`", acc.name())),
+                Disposition::Error,
+            );
+        };
+        let (outcome, mapping) = model.map_request(
+            &req.dfg,
+            &acc,
+            req.seed,
+            req.max_ii,
+            self.config.parallelism,
+        );
+        let body = match &mapping {
+            Some(m) => render_ok(req, &outcome, m),
+            None => render_unmappable(req, &outcome),
+        };
+        (body, Disposition::Computed)
+    }
+
+    fn respond(
+        &self,
+        id: u64,
+        started: Instant,
+        body: Arc<String>,
+        disposition: Disposition,
+    ) -> (Arc<String>, Disposition) {
+        let counter = match disposition {
+            Disposition::HitMemory => &self.counters.hit_memory,
+            Disposition::HitDisk => &self.counters.hit_disk,
+            Disposition::Computed => return self.finish(id, started, body, disposition),
+            Disposition::Coalesced => &self.counters.coalesced,
+            Disposition::Overloaded => &self.counters.overloaded,
+            Disposition::Error => &self.counters.errors,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.finish(id, started, body, disposition)
+    }
+
+    fn finish(
+        &self,
+        id: u64,
+        started: Instant,
+        body: Arc<String>,
+        disposition: Disposition,
+    ) -> (Arc<String>, Disposition) {
+        self.sink.emit(PipelineEvent::ServeResponded {
+            request: id,
+            disposition: disposition.as_str(),
+            duration: started.elapsed(),
+        });
+        (body, disposition)
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            hit_memory: self.counters.hit_memory.load(Ordering::Relaxed),
+            hit_disk: self.counters.hit_disk.load(Ordering::Relaxed),
+            anneals: self.counters.anneals.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            overloaded: self.counters.overloaded.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The `lisa-serve-stats v1` document the `stats` command answers
+    /// with.
+    pub fn stats_text(&self) -> String {
+        let s = self.stats();
+        format!(
+            "{}\nrequests {}\nhit_memory {}\nhit_disk {}\nanneals {}\ncoalesced {}\noverloaded {}\nerrors {}\nmodels {}\ncache_entries {}\n",
+            crate::protocol::STATS_HEADER,
+            s.requests,
+            s.hit_memory,
+            s.hit_disk,
+            s.anneals,
+            s.coalesced,
+            s.overloaded,
+            s.errors,
+            self.registry.len(),
+            self.cache.memory_len(),
+        )
+    }
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("models", &self.registry.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_admits_workers_and_bounds_the_queue() {
+        let gate = Gate::new(1, 0);
+        gate.acquire().ok().expect("first permit");
+        assert!(
+            gate.acquire().is_err(),
+            "queue of 0 must reject a second leader immediately"
+        );
+        gate.release();
+        assert!(gate.acquire().is_ok(), "released permit is reusable");
+    }
+
+    #[test]
+    fn gate_wakes_a_bounded_waiter() {
+        let gate = Arc::new(Gate::new(1, 1));
+        gate.acquire().ok().expect("permit");
+        let waiter = {
+            let gate = gate.clone();
+            std::thread::spawn(move || gate.acquire().is_ok())
+        };
+        // Give the waiter time to enter the queue, then free the permit.
+        while gate.waiting() == 0 {
+            std::thread::yield_now();
+        }
+        gate.release();
+        assert!(waiter.join().unwrap(), "waiter must get the permit");
+        gate.release();
+    }
+
+    #[test]
+    fn bad_requests_are_error_responses_not_panics() {
+        let engine = ServeEngine::new(
+            ModelRegistry::new(),
+            ServeConfig::default(),
+            EventSink::null(),
+        )
+        .unwrap();
+        let (body, disposition) = engine.handle("not a request");
+        assert_eq!(disposition, Disposition::Error);
+        assert!(body.contains("status error"));
+        assert_eq!(engine.stats().errors, 1);
+        assert_eq!(engine.stats().anneals, 0, "errors never reach the annealer");
+    }
+
+    #[test]
+    fn unknown_accelerator_and_missing_model_are_errors() {
+        let engine = ServeEngine::new(
+            ModelRegistry::new(),
+            ServeConfig::default(),
+            EventSink::null(),
+        )
+        .unwrap();
+        let req = MapRequest {
+            accelerator: "not-a-fabric".to_string(),
+            seed: 1,
+            max_ii: 4,
+            dfg: lisa_dfg::polybench::kernel("gemm").unwrap(),
+        };
+        let (body, disposition) = engine.handle(&req.canonical_text());
+        assert_eq!(disposition, Disposition::Error);
+        assert!(body.contains("unknown accelerator"));
+
+        let req = MapRequest {
+            accelerator: "4x4".to_string(),
+            ..req
+        };
+        let (body, disposition) = engine.handle(&req.canonical_text());
+        assert_eq!(disposition, Disposition::Error);
+        assert!(body.contains("no model resident"));
+        // Error responses are never cached: a model loaded later must not
+        // be shadowed by a cached failure.
+        let (_, disposition) = engine.handle(&req.canonical_text());
+        assert_eq!(disposition, Disposition::Error);
+    }
+}

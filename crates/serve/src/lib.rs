@@ -1,0 +1,32 @@
+//! Mapping-as-a-service: a long-running daemon over the LISA compiler.
+//!
+//! The compiler is a deterministic pure function — `(dfg, accelerator,
+//! config, seed) → mapping`, byte-identical across reruns — which makes
+//! it servable: a warm model answers repeated requests without
+//! retraining, and responses are content-addressed by the hash of the
+//! canonical request text ([`lisa_core::MapRequest`]).
+//!
+//! Layering:
+//!
+//! * [`protocol`] — length-prefixed framing and the `lisa-response v1`
+//!   document the daemon answers with;
+//! * [`cache`] — the two-tier content-addressed store (in-memory LRU
+//!   over an on-disk directory keyed by hash);
+//! * [`engine`] — request handling: canonicalize → hash → probe →
+//!   single-flight compute under a bounded admission gate, with
+//!   `lisa-events` telemetry per request;
+//! * [`server`] — connection loops for TCP and stdio transports.
+//!
+//! The wire protocol and its guarantees are documented in DESIGN.md
+//! ("Serving"): identical requests are served from cache byte-identically
+//! — including across daemon restarts via the disk tier — and overload is
+//! an explicit `status overloaded` response, never an unbounded queue.
+
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheTier, ResultCache};
+pub use engine::{Disposition, ServeConfig, ServeEngine, StatsSnapshot};
+pub use server::{serve_connection, serve_stdio, serve_tcp, Served};

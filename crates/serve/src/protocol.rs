@@ -1,0 +1,186 @@
+//! Wire framing and the `lisa-response v1` document.
+//!
+//! # Framing
+//!
+//! Every message — in both directions — is one frame: a 4-byte
+//! big-endian length followed by that many bytes of UTF-8 payload.
+//! Client payloads are either a `lisa-request v1` document, the word
+//! `stats`, or the word `shutdown`; the daemon answers each frame with
+//! exactly one response frame.
+//!
+//! # Response documents
+//!
+//! ```text
+//! lisa-response v1
+//! status ok            (or unmappable | error | overloaded)
+//! accelerator 4x4
+//! kernel gemm
+//! seed 2022
+//! max_ii 8
+//! ii 4
+//! routing_cells 3
+//! ops 11
+//! attempts 3
+//! mapping
+//! <deterministic grid render>
+//! end mapping
+//! ```
+//!
+//! Response bodies are deliberately wall-clock-free: the body of an `ok`
+//! or `unmappable` response is a pure function of the request, so a
+//! cached response is byte-identical to a freshly computed one and the
+//! cache is invisible to clients except through latency and the `stats`
+//! counters. Timing lives in telemetry (`lisa-events`), not in the body.
+
+use std::io::{self, Read, Write};
+
+use lisa_core::MapRequest;
+use lisa_mapper::{display, Mapping, MappingOutcome};
+
+/// Header line of every response document.
+pub const RESPONSE_HEADER: &str = "lisa-response v1";
+/// Header line of the `stats` answer.
+pub const STATS_HEADER: &str = "lisa-serve-stats v1";
+/// Upper bound on a frame payload; larger frames are a protocol error.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates write failures; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// Propagates read failures; a truncated frame or an oversized length is
+/// an error, not EOF.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME} limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Renders a successful mapping response.
+pub fn render_ok(req: &MapRequest, outcome: &MappingOutcome, mapping: &Mapping<'_>) -> String {
+    let mut out = header(req, "ok");
+    out.push_str(&format!(
+        "ii {}\n",
+        outcome.ii.expect("ok responses carry an II")
+    ));
+    out.push_str(&format!("routing_cells {}\n", outcome.routing_cells));
+    out.push_str(&format!("ops {}\n", outcome.ops));
+    out.push_str(&format!("attempts {}\n", outcome.attempts));
+    out.push_str("mapping\n");
+    out.push_str(&display::render(mapping));
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str("end mapping\n");
+    out
+}
+
+/// Renders the response for a request whose II search exhausted the cap.
+pub fn render_unmappable(req: &MapRequest, outcome: &MappingOutcome) -> String {
+    let mut out = header(req, "unmappable");
+    out.push_str(&format!("attempts {}\n", outcome.attempts));
+    out
+}
+
+/// Renders an error response. The reason is flattened to a single line.
+pub fn render_error(reason: &str) -> String {
+    format!(
+        "{RESPONSE_HEADER}\nstatus error\nreason {}\n",
+        reason.replace(['\n', '\r'], " ")
+    )
+}
+
+/// Renders the explicit-overload response (the backpressure contract:
+/// reject loudly instead of queueing without bound).
+pub fn render_overloaded() -> String {
+    format!("{RESPONSE_HEADER}\nstatus overloaded\n")
+}
+
+fn header(req: &MapRequest, status: &str) -> String {
+    format!(
+        "{RESPONSE_HEADER}\nstatus {status}\naccelerator {}\nkernel {}\nseed {}\nmax_ii {}\n",
+        req.accelerator,
+        req.dfg.name(),
+        req.seed,
+        req.max_ii
+    )
+}
+
+/// The `status` line value of a response document, if well-formed.
+pub fn response_status(body: &str) -> Option<&str> {
+    let mut lines = body.lines();
+    if lines.next()?.trim_end() != RESPONSE_HEADER {
+        return None;
+    }
+    lines.next()?.strip_prefix("status ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"x");
+        assert!(read_frame(&mut io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn error_reasons_stay_single_line() {
+        let body = render_error("line one\nline two");
+        assert_eq!(body.lines().count(), 3);
+        assert_eq!(response_status(&body), Some("error"));
+        assert_eq!(response_status(&render_overloaded()), Some("overloaded"));
+        assert_eq!(response_status("garbage"), None);
+    }
+}

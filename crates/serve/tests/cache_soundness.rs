@@ -1,0 +1,154 @@
+//! Cache-soundness contract of the serving daemon: same request text →
+//! same hash → byte-identical response, from any tier, in any process;
+//! and concurrent identical misses compute exactly once.
+
+use std::sync::{Arc, Barrier, OnceLock};
+
+use lisa_core::{Lisa, LisaConfig, MapRequest, ModelRegistry};
+use lisa_dfg::polybench;
+use lisa_events::EventSink;
+use lisa_serve::{Disposition, ServeConfig, ServeEngine};
+
+/// One tiny 4x4 model, trained once and shared by every test (training
+/// is the expensive part; the tests exercise serving, not training).
+fn model_text() -> &'static str {
+    static MODEL: OnceLock<String> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let acc = lisa_arch_accelerator();
+        let config = LisaConfig {
+            training_dfgs: 6,
+            ..LisaConfig::fast()
+        };
+        Lisa::train_for(&acc, &config)
+            .expect("tiny training run completes")
+            .export_model()
+    })
+}
+
+fn lisa_arch_accelerator() -> lisa_arch::Accelerator {
+    lisa_arch::Accelerator::standard("4x4").unwrap()
+}
+
+fn registry() -> ModelRegistry {
+    let mut reg = ModelRegistry::new();
+    reg.insert(Lisa::import_model(&LisaConfig::fast(), model_text()).unwrap())
+        .unwrap();
+    reg
+}
+
+fn gemm_request() -> String {
+    MapRequest {
+        accelerator: "4x4".to_string(),
+        seed: 2022,
+        max_ii: 8,
+        dfg: polybench::kernel("gemm").unwrap(),
+    }
+    .canonical_text()
+}
+
+fn engine(config: ServeConfig) -> ServeEngine {
+    ServeEngine::new(registry(), config, EventSink::null()).unwrap()
+}
+
+#[test]
+fn repeated_request_is_a_byte_identical_cache_hit_without_annealing() {
+    let engine = engine(ServeConfig::default());
+    let request = gemm_request();
+
+    let (first, d1) = engine.handle(&request);
+    assert_eq!(d1, Disposition::Computed);
+    assert!(first.contains("status ok"), "body was {first}");
+
+    let (second, d2) = engine.handle(&request);
+    assert_eq!(d2, Disposition::HitMemory);
+    assert_eq!(*first, *second, "cache hit must be byte-identical");
+
+    let stats = engine.stats();
+    assert_eq!(stats.anneals, 1, "second request must not anneal");
+    assert_eq!(stats.hit_memory, 1);
+
+    // Formatting noise in the request text canonicalizes to the same key.
+    let noisy = format!("{}\r\n", request.replace('\n', "\r\n"));
+    let (third, d3) = engine.handle(&noisy);
+    assert_eq!(d3, Disposition::HitMemory);
+    assert_eq!(*first, *third);
+    assert_eq!(engine.stats().anneals, 1);
+}
+
+#[test]
+fn disk_tier_serves_byte_identical_responses_across_restarts() {
+    let dir = std::env::temp_dir().join("lisa_serve_restart_soundness");
+    let _ = std::fs::remove_dir_all(&dir);
+    let request = gemm_request();
+    let config = ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    let first_daemon = engine(config.clone());
+    let (first, d1) = first_daemon.handle(&request);
+    assert_eq!(d1, Disposition::Computed);
+    drop(first_daemon);
+
+    // A "restarted daemon": fresh process state, same cache directory.
+    let second_daemon = engine(config);
+    let (second, d2) = second_daemon.handle(&request);
+    assert_eq!(d2, Disposition::HitDisk);
+    assert_eq!(
+        *first, *second,
+        "disk-tier hit must be byte-identical across restarts"
+    );
+    assert_eq!(
+        second_daemon.stats().anneals,
+        0,
+        "restarted daemon must serve the repeat from disk without annealing"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_identical_misses_compute_once() {
+    let engine = Arc::new(engine(ServeConfig {
+        workers: 4,
+        queue: 16,
+        ..ServeConfig::default()
+    }));
+    let request = Arc::new(gemm_request());
+    let callers = 8;
+    let barrier = Arc::new(Barrier::new(callers));
+
+    let handles: Vec<_> = (0..callers)
+        .map(|_| {
+            let engine = engine.clone();
+            let request = request.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                engine.handle(&request)
+            })
+        })
+        .collect();
+    let results: Vec<(Arc<String>, Disposition)> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    assert_eq!(
+        engine.stats().anneals,
+        1,
+        "identical concurrent misses must single-flight into one computation"
+    );
+    let computed = results
+        .iter()
+        .filter(|(_, d)| *d == Disposition::Computed)
+        .count();
+    assert_eq!(computed, 1, "exactly one caller computes");
+    for (body, disposition) in &results {
+        assert!(
+            matches!(
+                disposition,
+                Disposition::Computed | Disposition::Coalesced | Disposition::HitMemory
+            ),
+            "unexpected disposition {disposition:?}"
+        );
+        assert_eq!(**body, *results[0].0, "all callers get the same bytes");
+    }
+}

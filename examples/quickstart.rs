@@ -17,8 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lisa = Lisa::train_for(&acc, &LisaConfig::fast())?;
     let stats = lisa.stats();
     println!(
-        "  {} training DFGs kept, label accuracies {:?}",
-        stats.dfgs_kept, stats.accuracy.values
+        "  {} training DFGs kept, label accuracies {}",
+        stats.dfgs_kept,
+        stats.accuracy.summary()
     );
 
     // Map a real kernel: the GNN derives the four guidance labels and the

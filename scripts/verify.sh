@@ -15,8 +15,8 @@ cargo test -q --offline
 
 # Bench smoke: run the micro-benches once each (heavy tier is skipped),
 # which writes target/bench/BENCH_<suite>.json; bench_check fails if
-# BENCH_mapping.json, BENCH_gnn.json, or BENCH_pipeline.json is missing,
-# malformed, or lacks the required entries.
+# BENCH_mapping.json, BENCH_gnn.json, BENCH_pipeline.json, or
+# BENCH_serve.json is missing, malformed, or lacks the required entries.
 cargo test -q --offline -p lisa-bench --benches
 cargo run -q --offline -p lisa-bench --bin bench_check
 
@@ -35,5 +35,63 @@ cargo run -q --release --offline --bin lisa-map -- \
     train --arch 4x4 --dfgs 6 --quiet --resume "$SMOKE_DIR/ckpt"
 cmp "$SMOKE_DIR/cold.model" "$SMOKE_DIR/ckpt/model.lisa-model"
 echo "verify: pipeline resume is byte-identical"
+
+# Serving smoke: start the daemon on an ephemeral port with a disk-backed
+# result cache, map the same kernel twice (the repeat must be a memory-tier
+# hit, byte-identical, without invoking the annealer), then restart the
+# daemon on the same cache directory and check the disk tier answers the
+# request byte-identically with zero anneals.
+SERVE_DIR="$SMOKE_DIR/serve"
+mkdir -p "$SERVE_DIR"
+SERVE_BIN="target/release/lisa-serve"
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+start_daemon() {
+    rm -f "$SERVE_DIR/addr"
+    "$SERVE_BIN" serve --model "$SMOKE_DIR/cold.model" \
+        --listen 127.0.0.1:0 --port-file "$SERVE_DIR/addr" \
+        --cache-dir "$SERVE_DIR/cache" \
+        --events "$SERVE_DIR/$1.events.jsonl" 2>"$SERVE_DIR/$1.log" &
+    SERVE_PID=$!
+    tries=0
+    while [ ! -s "$SERVE_DIR/addr" ]; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 100 ] || ! kill -0 "$SERVE_PID" 2>/dev/null; then
+            echo "verify: daemon failed to start" >&2
+            cat "$SERVE_DIR/$1.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR="$(cat "$SERVE_DIR/addr")"
+}
+
+start_daemon daemon1
+"$SERVE_BIN" client --connect "$ADDR" --kernel gemm --arch 4x4 --max-ii 8 \
+    >"$SERVE_DIR/r1"
+"$SERVE_BIN" client --connect "$ADDR" --kernel gemm --arch 4x4 --max-ii 8 \
+    >"$SERVE_DIR/r2"
+cmp "$SERVE_DIR/r1" "$SERVE_DIR/r2"
+grep -q '^status ok$' "$SERVE_DIR/r1"
+"$SERVE_BIN" client --connect "$ADDR" --stats >"$SERVE_DIR/stats1"
+grep -q '^anneals 1$' "$SERVE_DIR/stats1"
+grep -q '^hit_memory 1$' "$SERVE_DIR/stats1"
+"$SERVE_BIN" client --connect "$ADDR" --shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+
+start_daemon daemon2
+"$SERVE_BIN" client --connect "$ADDR" --kernel gemm --arch 4x4 --max-ii 8 \
+    >"$SERVE_DIR/r3"
+cmp "$SERVE_DIR/r1" "$SERVE_DIR/r3"
+"$SERVE_BIN" client --connect "$ADDR" --stats >"$SERVE_DIR/stats2"
+grep -q '^anneals 0$' "$SERVE_DIR/stats2"
+grep -q '^hit_disk 1$' "$SERVE_DIR/stats2"
+"$SERVE_BIN" client --connect "$ADDR" --shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+trap - EXIT
+echo "verify: serve cache is byte-identical across restarts"
 
 echo "verify: OK"

@@ -201,16 +201,7 @@ fn train_usage() -> String {
 }
 
 fn build_arch(key: &str) -> Result<Accelerator, String> {
-    Ok(match key {
-        "3x3" => Accelerator::cgra("3x3", 3, 3),
-        "4x4" => Accelerator::cgra("4x4", 4, 4),
-        "4x4-lr" => Accelerator::cgra("4x4-lr", 4, 4).with_regs_per_pe(1),
-        "4x4-lm" => Accelerator::cgra("4x4-lm", 4, 4)
-            .with_memory(lisa::arch::MemoryConnectivity::LeftColumn),
-        "8x8" => Accelerator::cgra("8x8", 8, 8),
-        "systolic" => Accelerator::systolic("systolic-5x5", 5, 5),
-        other => return Err(format!("unknown architecture {other}\n{}", usage())),
-    })
+    Accelerator::standard(key).ok_or_else(|| format!("unknown architecture {key}\n{}", usage()))
 }
 
 fn build_dfg(spec: &str, factor: u32) -> Result<Dfg, String> {
@@ -280,11 +271,11 @@ fn run_train(opts: TrainOptions) -> Result<(), String> {
         Some(lisa) => {
             let stats = lisa.stats();
             eprintln!(
-                "trained for {}: {} DFGs kept of {}, label accuracies {:?}",
+                "trained for {}: {} DFGs kept of {}, label accuracies {}",
                 acc.name(),
                 stats.dfgs_kept,
                 stats.dfgs_generated,
-                stats.accuracy.values
+                stats.accuracy.summary()
             );
             if let Some(out) = &opts.out {
                 std::fs::write(out, lisa.export_model())

@@ -13,7 +13,9 @@
 //!   networks;
 //! * [`labels`] — the Attributes Generator, label extraction, iterative
 //!   training-data generation, and the label filter;
-//! * [`core`] — the end-to-end [`Lisa`] framework.
+//! * [`core`] — the end-to-end [`Lisa`] framework;
+//! * [`serve`] — the mapping-as-a-service daemon: framed protocol,
+//!   two-tier content-addressed result cache, and serving engine.
 //!
 //! # Example
 //!
@@ -39,5 +41,6 @@ pub use lisa_events as events;
 pub use lisa_gnn as gnn;
 pub use lisa_labels as labels;
 pub use lisa_mapper as mapper;
+pub use lisa_serve as serve;
 
 pub use lisa_core::{Lisa, LisaConfig};

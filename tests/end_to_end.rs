@@ -75,6 +75,7 @@ fn accuracy_report_has_four_fractions() {
     let report = lisa.stats();
     assert_eq!(report.accuracy.values.len(), 4);
     for v in report.accuracy.values {
+        let v = v.expect("trained model has measured accuracies");
         assert!((0.0..=1.0).contains(&v));
     }
     assert!(report.dfgs_generated >= report.dfgs_labelled);

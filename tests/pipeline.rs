@@ -88,6 +88,70 @@ fn resumed_run_exports_a_byte_identical_model() {
 }
 
 #[test]
+fn resume_survives_a_kill_at_any_rewrite_point() {
+    // Regression for the checkpoint crash window: resume used to truncate
+    // the dataset file and re-append the recovered entries, so a kill
+    // between the truncate and the last re-append destroyed the
+    // checkpoint. Now the rewrite either truncates only the torn tail in
+    // place or goes through an atomic rename, so a kill at any point —
+    // including immediately after a resume opened the file — leaves a
+    // recoverable dataset that still trains to a byte-identical model.
+    let acc = Accelerator::cgra("4x4", 4, 4);
+    let config = tiny_config();
+    let cold_model = Pipeline::new(&acc, config.clone())
+        .run()
+        .unwrap()
+        .expect("cold run completes")
+        .export_model();
+
+    let dir = scratch("crash-window");
+    Pipeline::new(&acc, config.clone())
+        .with_checkpoint_dir(&dir)
+        .stop_after(Stage::GenerateLabels)
+        .run()
+        .unwrap();
+    let dataset_path = dir.join(DATASET_FILE);
+    let full = std::fs::read_to_string(&dataset_path).unwrap();
+
+    // Kill points: header only, an exact entry boundary, and mid-entry.
+    let boundary = full[full.len() / 3..]
+        .find("end entry\n")
+        .map(|i| full.len() / 3 + i + "end entry\n".len())
+        .expect("dataset has an entry boundary");
+    let header_len = full.match_indices('\n').nth(2).map(|(i, _)| i + 1).unwrap();
+    for (label, cut) in [
+        ("header-only", header_len),
+        ("entry-boundary", boundary),
+        ("mid-entry", boundary + 37),
+    ] {
+        std::fs::write(&dataset_path, &full[..cut]).unwrap();
+
+        // Simulate a resume that is itself killed right after reopening
+        // the checkpoint, before appending anything: the file must stay
+        // recoverable for the next attempt.
+        let recovered =
+            lisa::labels::parse_dataset_partial(&std::fs::read_to_string(&dataset_path).unwrap())
+                .unwrap();
+        let writer =
+            lisa::labels::DatasetWriter::resume(&dataset_path, "4x4", 6, &recovered.entries)
+                .unwrap();
+        drop(writer);
+
+        let resumed = Pipeline::new(&acc, config.clone())
+            .with_checkpoint_dir(&dir)
+            .run()
+            .unwrap()
+            .expect("resumed run completes");
+        assert_eq!(
+            resumed.export_model(),
+            cold_model,
+            "kill point {label}: resumed model differs from the cold run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn checkpointed_run_leaves_complete_artifacts() {
     let acc = Accelerator::cgra("4x4", 4, 4);
     let dir = scratch("artifacts");
