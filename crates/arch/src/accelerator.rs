@@ -4,7 +4,8 @@ use std::fmt;
 
 use lisa_dfg::OpKind;
 
-use crate::{Coord, PeId};
+use crate::distance::{DistanceIndex, DENSE_DISTANCE_LIMIT};
+use crate::{Coord, DistanceMode, PeId};
 
 /// Which PEs may access the on-chip memory (CGRA variants of §VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,10 +94,15 @@ pub struct Accelerator {
     max_ii: u32,
     kind: AcceleratorKind,
     neighbors: Vec<Vec<PeId>>,
-    /// Row-major `from × to` minimum link-hop distances (BFS over the
-    /// directed link graph), `u16::MAX` when unreachable. Derived from
+    /// Distance-index policy chosen by [`Self::with_distance_mode`]
+    /// (default [`DistanceMode::Auto`]); remembered so interconnect
+    /// changes rebuild the same kind of index.
+    dist_mode: DistanceMode,
+    /// Minimum link-hop distances over the directed link graph: a dense
+    /// all-pairs table on small fabrics, a landmark oracle (exact within
+    /// a radius, true lower bound beyond) on large ones. Derived from
     /// `neighbors`; rebuilt whenever the interconnect changes.
-    hop_dist: Vec<u16>,
+    dist: DistanceIndex,
 }
 
 impl Accelerator {
@@ -106,6 +112,9 @@ impl Accelerator {
     /// Configuration memory depth on CGRAs (§VI: "Each PE has 24
     /// configuration entries […] which means the maximum possible II is 24").
     pub const DEFAULT_MAX_II: u32 = 24;
+    /// PE count up to which [`DistanceMode::Auto`] keeps the exact dense
+    /// hop-distance table; larger fabrics get the landmark oracle.
+    pub const DENSE_DISTANCE_LIMIT: usize = DENSE_DISTANCE_LIMIT;
 
     /// Creates a baseline CGRA of the given grid size.
     ///
@@ -119,7 +128,7 @@ impl Accelerator {
             heterogeneity: Heterogeneity::Homogeneous,
         };
         let neighbors = mesh_neighbors(rows, cols);
-        let hop_dist = hop_distances(&neighbors);
+        let dist = DistanceIndex::build(&neighbors, DistanceMode::Auto);
         Accelerator {
             name: name.into(),
             rows,
@@ -128,7 +137,8 @@ impl Accelerator {
             max_ii: Self::DEFAULT_MAX_II,
             kind,
             neighbors,
-            hop_dist,
+            dist_mode: DistanceMode::Auto,
+            dist,
         }
     }
 
@@ -145,7 +155,7 @@ impl Accelerator {
             "systolic array needs load, compute, store columns"
         );
         let neighbors = systolic_neighbors(rows, cols);
-        let hop_dist = hop_distances(&neighbors);
+        let dist = DistanceIndex::build(&neighbors, DistanceMode::Auto);
         Accelerator {
             name: name.into(),
             rows,
@@ -154,7 +164,8 @@ impl Accelerator {
             max_ii: 1,
             kind: AcceleratorKind::Systolic,
             neighbors,
-            hop_dist,
+            dist_mode: DistanceMode::Auto,
+            dist,
         }
     }
 
@@ -247,7 +258,18 @@ impl Accelerator {
             }
             Interconnect::MultiHop { radius } => multihop_neighbors(self.rows, self.cols, radius),
         };
-        self.hop_dist = hop_distances(&self.neighbors);
+        self.dist = DistanceIndex::build(&self.neighbors, self.dist_mode);
+        self
+    }
+
+    /// Overrides how hop distances are indexed (builder style). The
+    /// default, [`DistanceMode::Auto`], keeps the exact dense table up
+    /// to 128 PEs and switches to the landmark oracle beyond — see
+    /// [`Self::hop_distance`] for the semantics of each. The choice
+    /// persists across later interconnect changes.
+    pub fn with_distance_mode(mut self, mode: DistanceMode) -> Self {
+        self.dist_mode = mode;
+        self.dist = DistanceIndex::build(&self.neighbors, mode);
         self
     }
 
@@ -332,15 +354,29 @@ impl Accelerator {
     }
 
     /// Minimum number of link hops from `from` to `to` over the directed
-    /// link graph, or `u32::MAX` when unreachable (e.g. leftward on a
-    /// systolic array). Precomputed at construction; the router relies on
-    /// this being a true lower bound on any route's hop count to prune
-    /// its search cone.
+    /// link graph, or `u32::MAX` when the index proves unreachability
+    /// (e.g. leftward on a systolic array). Precomputed at construction.
+    ///
+    /// With the dense index (fabrics up to 128 PEs under
+    /// [`DistanceMode::Auto`]) the value is always exact. With the
+    /// landmark oracle (large fabrics) it is exact within the oracle's
+    /// ball radius and a **true lower bound** beyond — never an
+    /// overestimate. The router relies on exactly this lower-bound
+    /// contract to prune its search cone, so routing results are
+    /// identical under either index.
     pub fn hop_distance(&self, from: PeId, to: PeId) -> u32 {
-        match self.hop_dist[from.index() * self.pe_count() + to.index()] {
-            u16::MAX => u32::MAX,
-            d => u32::from(d),
-        }
+        self.dist.query(from.index(), to.index())
+    }
+
+    /// Heap bytes held by the hop-distance index (`"dense"` is quadratic
+    /// in PE count; `"oracle"` is near-linear).
+    pub fn distance_index_bytes(&self) -> usize {
+        self.dist.bytes()
+    }
+
+    /// Which hop-distance index is active: `"dense"` or `"oracle"`.
+    pub fn distance_index_kind(&self) -> &'static str {
+        self.dist.kind()
     }
 
     /// Whether the PE can execute the operation.
@@ -413,31 +449,6 @@ impl fmt::Display for Accelerator {
             self.name, self.rows, self.cols, self.kind, self.regs_per_pe, self.max_ii
         )
     }
-}
-
-/// All-pairs minimum hop distances over the directed link graph: one BFS
-/// per source PE. Grids are small (≤ 64 PEs in the paper suite), so the
-/// O(V·(V+E)) cost is negligible against construction.
-fn hop_distances(neighbors: &[Vec<PeId>]) -> Vec<u16> {
-    let n = neighbors.len();
-    let mut out = vec![u16::MAX; n * n];
-    let mut queue = std::collections::VecDeque::new();
-    for src in 0..n {
-        let row = &mut out[src * n..(src + 1) * n];
-        row[src] = 0;
-        queue.clear();
-        queue.push_back(src);
-        while let Some(u) = queue.pop_front() {
-            let d = row[u];
-            for &v in &neighbors[u] {
-                if row[v.index()] == u16::MAX {
-                    row[v.index()] = d + 1;
-                    queue.push_back(v.index());
-                }
-            }
-        }
-    }
-    out
 }
 
 fn mesh_neighbors(rows: usize, cols: usize) -> Vec<Vec<PeId>> {
@@ -700,6 +711,141 @@ mod heterogeneity_tests {
     #[should_panic(expected = "PE functions are fixed")]
     fn systolic_rejects_heterogeneity_override() {
         let _ = Accelerator::systolic("s", 5, 5).with_heterogeneity(Heterogeneity::CheckerboardMul);
+    }
+}
+
+#[cfg(test)]
+mod distance_index_tests {
+    use super::*;
+    use crate::distance::dense_distances;
+
+    /// Fresh all-pairs BFS over an accelerator's live link graph — the
+    /// ground truth every index must respect.
+    fn bfs_truth(acc: &Accelerator, from: PeId, to: PeId) -> u32 {
+        let neighbors: Vec<Vec<PeId>> = (0..acc.pe_count())
+            .map(|i| acc.neighbors(PeId::new(i)).to_vec())
+            .collect();
+        match dense_distances(&neighbors)[from.index() * acc.pe_count() + to.index()] {
+            u16::MAX => u32::MAX,
+            d => u32::from(d),
+        }
+    }
+
+    #[test]
+    fn auto_mode_follows_pe_count() {
+        assert_eq!(
+            Accelerator::cgra("8x8", 8, 8).distance_index_kind(),
+            "dense"
+        );
+        assert_eq!(
+            Accelerator::cgra("16x16", 16, 16).distance_index_kind(),
+            "oracle"
+        );
+        // 32×32 dense would be 1024² × 2 B = 2 MiB; the oracle stays
+        // well under half of that.
+        let big = Accelerator::cgra("32x32", 32, 32);
+        assert_eq!(big.distance_index_kind(), "oracle");
+        let dense_bytes = big.pe_count() * big.pe_count() * 2;
+        assert!(big.distance_index_bytes() * 2 < dense_bytes);
+    }
+
+    #[test]
+    fn forced_oracle_matches_dense_on_small_mesh() {
+        // 4×4 diameter (6) fits in the exact ball, so the oracle must
+        // reproduce the dense table on every pair.
+        let dense = Accelerator::cgra("4x4", 4, 4).with_distance_mode(DistanceMode::Dense);
+        let oracle = Accelerator::cgra("4x4", 4, 4).with_distance_mode(DistanceMode::Oracle);
+        assert_eq!(dense.distance_index_kind(), "dense");
+        assert_eq!(oracle.distance_index_kind(), "oracle");
+        for i in 0..16 {
+            for j in 0..16 {
+                let (i, j) = (PeId::new(i), PeId::new(j));
+                assert_eq!(oracle.hop_distance(i, j), dense.hop_distance(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_on_big_mesh_is_exact_near_and_lower_bound_far() {
+        let a = Accelerator::cgra("16x16", 16, 16);
+        assert_eq!(a.distance_index_kind(), "oracle");
+        for i in 0..a.pe_count() {
+            for j in 0..a.pe_count() {
+                let (i, j) = (PeId::new(i), PeId::new(j));
+                let manhattan = a.spatial_distance(i, j); // exact on a mesh
+                let hd = a.hop_distance(i, j);
+                if manhattan <= 8 {
+                    assert_eq!(hd, manhattan, "{i}->{j} inside the exact ball");
+                } else {
+                    assert!(hd > 8 && hd <= manhattan, "{i}->{j}: {hd} vs {manhattan}");
+                }
+            }
+        }
+    }
+
+    /// A large systolic array is the irregular case: directed links, no
+    /// leftward reachability. The oracle must stay exact within its
+    /// ball, never overestimate beyond it, and keep proving leftward
+    /// unreachability.
+    #[test]
+    fn oracle_on_big_systolic_respects_direction() {
+        let s = Accelerator::systolic("sys-12", 12, 12);
+        assert_eq!(s.distance_index_kind(), "oracle");
+        for r in 0..12 {
+            for c in 1..12 {
+                let right = s.pe_at(Coord { row: r, col: c });
+                let left = s.pe_at(Coord { row: r, col: 0 });
+                assert_eq!(
+                    s.hop_distance(right, left),
+                    u32::MAX,
+                    "leftward at ({r},{c})"
+                );
+            }
+        }
+        for i in (0..s.pe_count()).step_by(7) {
+            for j in (0..s.pe_count()).step_by(5) {
+                let (i, j) = (PeId::new(i), PeId::new(j));
+                let truth = bfs_truth(&s, i, j);
+                let hd = s.hop_distance(i, j);
+                if truth <= 8 {
+                    assert_eq!(hd, truth, "{i}->{j} inside the exact ball");
+                } else {
+                    assert!(hd <= truth, "{i}->{j}: overestimate {hd} > {truth}");
+                }
+                if hd == u32::MAX {
+                    assert_eq!(truth, u32::MAX, "{i}->{j}: false unreachability");
+                }
+            }
+        }
+    }
+
+    /// Multi-hop interconnects are non-mesh graphs where hop distance
+    /// diverges from Manhattan distance; the oracle must track the BFS
+    /// truth, and an interconnect change must preserve the index mode.
+    #[test]
+    fn oracle_tracks_multihop_interconnect_changes() {
+        let a = Accelerator::cgra("16x16", 16, 16)
+            .with_interconnect(Interconnect::MultiHop { radius: 3 });
+        assert_eq!(a.distance_index_kind(), "oracle");
+        for i in (0..a.pe_count()).step_by(11) {
+            for j in (0..a.pe_count()).step_by(13) {
+                let (i, j) = (PeId::new(i), PeId::new(j));
+                let truth = bfs_truth(&a, i, j);
+                let hd = a.hop_distance(i, j);
+                // Radius-3 links: the 16×16 diameter is ⌈30/3⌉ = 10 > 8,
+                // so both regimes are exercised.
+                if truth <= 8 {
+                    assert_eq!(hd, truth, "{i}->{j} inside the exact ball");
+                } else {
+                    assert!(hd <= truth, "{i}->{j}: overestimate {hd} > {truth}");
+                }
+            }
+        }
+        // A forced mode survives interconnect rebuilds.
+        let forced = Accelerator::cgra("16x16", 16, 16)
+            .with_distance_mode(DistanceMode::Dense)
+            .with_interconnect(Interconnect::MultiHop { radius: 2 });
+        assert_eq!(forced.distance_index_kind(), "dense");
     }
 }
 

@@ -21,6 +21,7 @@
 //! ```
 
 mod accelerator;
+mod distance;
 mod error;
 mod mrrg;
 mod pe;
@@ -29,6 +30,7 @@ pub mod power;
 pub use accelerator::{
     Accelerator, AcceleratorKind, Heterogeneity, Interconnect, MemoryConnectivity,
 };
+pub use distance::DistanceMode;
 pub use error::ArchError;
 pub use mrrg::{Mrrg, Resource};
 pub use pe::{Coord, PeId};

@@ -10,6 +10,7 @@ use lisa_arch::Accelerator;
 use lisa_bench::timing::Suite;
 use lisa_dfg::{polybench, Dfg, OpKind};
 use lisa_mapper::exact::{ExactMapper, ExactParams};
+use lisa_mapper::greedy::{GreedyMapper, GreedyParams};
 use lisa_mapper::sa::{movement_throughput, MovementEngine};
 use lisa_mapper::schedule::IiSearch;
 use lisa_mapper::{GuidanceLabels, LabelSaMapper, PortfolioParams, SaMapper, SaParams};
@@ -64,6 +65,49 @@ fn main() {
     ] {
         suite.bench(&format!("movement/fig4_3x3/{tag}"), || {
             std::hint::black_box(movement_throughput(&fig4, &acc3, 3, 42, MOVES, engine));
+        });
+    }
+
+    // Big-fabric scaling: beyond 128 PEs the accelerator swaps its dense
+    // all-pairs hop table for the landmark distance oracle. These entries
+    // demonstrate end-to-end mapping on fabrics the dense table would
+    // make needlessly heavy (a 32×32 table alone is 2 MiB, rebuilt per
+    // interconnect change) and record the index footprint as metrics,
+    // alongside the movement throughput the annealer sustains there. The
+    // end-to-end map uses the greedy mapper: its producer-adjacent
+    // placement stays compact regardless of fabric size, whereas the
+    // annealer's fixed iteration budget cannot pull a random scatter
+    // over 1024 PEs back together.
+    let doitgen = polybench::kernel("doitgen").unwrap();
+    for (key, dim) in [("16x16", 16usize), ("32x32", 32)] {
+        let big = Accelerator::cgra(key, dim, dim);
+        assert_eq!(big.distance_index_kind(), "oracle");
+        let dense_equiv = big.pe_count() * big.pe_count() * std::mem::size_of::<u16>();
+        suite.metric(
+            &format!("distance/{key}_oracle_bytes"),
+            big.distance_index_bytes() as f64,
+            "bytes",
+        );
+        suite.metric(
+            &format!("distance/{key}_dense_bytes"),
+            dense_equiv as f64,
+            "bytes",
+        );
+        suite.bench(&format!("movement/fig4_{key}/journal"), || {
+            std::hint::black_box(movement_throughput(
+                &fig4,
+                &big,
+                3,
+                42,
+                MOVES,
+                MovementEngine::Journal,
+            ));
+        });
+        suite.bench(&format!("e2e/doitgen_{key}/greedy"), || {
+            let mut greedy = GreedyMapper::new(GreedyParams::default());
+            let outcome = IiSearch { max_ii: Some(8) }.run(&mut greedy, &doitgen, &big);
+            assert!(outcome.mapped(), "doitgen must map on {key}");
+            std::hint::black_box(outcome);
         });
     }
 

@@ -158,14 +158,21 @@ fn main() {
     latencies.sort();
     let stats = load.stats();
     let hits = stats.hit_memory + stats.hit_disk + stats.coalesced;
+    let hit_rate = 100.0 * hits as f64 / stats.requests as f64;
+    let p50_ms = percentile(&latencies, 0.50).as_secs_f64() * 1e3;
+    let p99_ms = percentile(&latencies, 0.99).as_secs_f64() * 1e3;
+    let throughput = stats.requests as f64 / wall.as_secs_f64();
     println!(
-        "serve-load: {} requests, hit_rate {:.1}%, p50 {:.2}ms, p99 {:.2}ms, {:.1} mappings/sec",
+        "serve-load: {} requests, hit_rate {hit_rate:.1}%, p50 {p50_ms:.2}ms, \
+         p99 {p99_ms:.2}ms, {throughput:.1} mappings/sec",
         stats.requests,
-        100.0 * hits as f64 / stats.requests as f64,
-        percentile(&latencies, 0.50).as_secs_f64() * 1e3,
-        percentile(&latencies, 0.99).as_secs_f64() * 1e3,
-        stats.requests as f64 / wall.as_secs_f64(),
     );
+    // Also emit the service-level numbers through the JSON path so
+    // BENCH_serve.json captures their trajectory across PRs.
+    suite.metric("load/hit_rate_pct", hit_rate, "percent");
+    suite.metric("load/p50_ms", p50_ms, "ms");
+    suite.metric("load/p99_ms", p99_ms, "ms");
+    suite.metric("load/mappings_per_sec", throughput, "per_sec");
     suite.bench("load/replay_24", || {
         std::hint::black_box(replay(&load, &trace, 4));
     });

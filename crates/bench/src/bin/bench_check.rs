@@ -18,14 +18,31 @@ const REQUIRED_MAPPING: &[&str] = &[
     "movement/fig4_3x3/journal",
     "portfolio/fig4_3x3/chains1",
     "portfolio/fig4_3x3/chains4",
+    "movement/fig4_16x16/journal",
+    "e2e/doitgen_16x16/greedy",
+    "movement/fig4_32x32/journal",
+    "e2e/doitgen_32x32/greedy",
 ];
 
-/// GNN-suite entries every run must produce: inference throughput and
-/// one training epoch for each of the three network architectures.
+/// Distance-index footprint metrics the mapping suite must emit for the
+/// big fabrics the landmark oracle serves.
+const REQUIRED_MAPPING_METRICS: &[&str] = &[
+    "distance/16x16_oracle_bytes",
+    "distance/16x16_dense_bytes",
+    "distance/32x32_oracle_bytes",
+    "distance/32x32_dense_bytes",
+];
+
+/// GNN-suite entries every run must produce: inference throughput for
+/// each architecture on both the compiled-plan serving path and the
+/// historical graph tape, plus one training epoch per architecture.
 const REQUIRED_GNN: &[&str] = &[
     "schedule_order/predict_syr2k",
+    "schedule_order/predict_syr2k_tape",
     "edge_mlp/predict",
+    "edge_mlp/predict_tape",
     "spatial/predict",
+    "spatial/predict_tape",
     "schedule_order/train_epoch_8",
     "edge_mlp/train_epoch_64",
     "spatial/train_epoch_48",
@@ -50,6 +67,15 @@ const REQUIRED_SERVE: &[&str] = &[
     "load/replay_24",
 ];
 
+/// Service-level metric rows the serve suite must emit (the load
+/// generator's numbers, captured via `Suite::metric` in both modes).
+const REQUIRED_SERVE_METRICS: &[&str] = &[
+    "load/hit_rate_pct",
+    "load/p50_ms",
+    "load/p99_ms",
+    "load/mappings_per_sec",
+];
+
 fn fail(msg: &str) -> ! {
     eprintln!("bench_check: FAIL: {msg}");
     std::process::exit(1);
@@ -64,9 +90,21 @@ fn median_ns_for<'a>(json: &'a str, name: &str) -> Option<&'a str> {
     Some(rest.split([',', '}']).next()?.trim())
 }
 
-/// Validates one suite file: header, mode, and required entries with
-/// finite positive medians. Returns the mode for the OK line.
-fn check_suite(suite: &str, required: &[&str]) -> &'static str {
+/// Extracts the `value` number from the metric row for `name` (metric
+/// rows carry `"value"` where timing rows carry `"median_ns"`).
+fn value_for<'a>(json: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"name\": \"{name}\"");
+    let line = json
+        .lines()
+        .find(|l| l.contains(&tag) && l.contains("\"value\": "))?;
+    let rest = line.split("\"value\": ").nth(1)?;
+    Some(rest.split([',', '}']).next()?.trim())
+}
+
+/// Validates one suite file: header, mode, required timing entries with
+/// finite positive medians, and required metric rows with finite
+/// non-negative values. Returns the mode for the OK line.
+fn check_suite(suite: &str, required: &[&str], required_metrics: &[&str]) -> &'static str {
     let path = format!("{}/BENCH_{suite}.json", bench_dir());
     let json = match std::fs::read_to_string(&path) {
         Ok(s) => s,
@@ -93,21 +131,30 @@ fn check_suite(suite: &str, required: &[&str]) -> &'static str {
             _ => fail(&format!("entry {name} has malformed median_ns {ns:?}")),
         }
     }
+    for name in required_metrics {
+        let Some(v) = value_for(&json, name) else {
+            fail(&format!("{path} is missing required metric {name}"));
+        };
+        match v.parse::<f64>() {
+            Ok(x) if x.is_finite() && x >= 0.0 => {}
+            _ => fail(&format!("metric {name} has malformed value {v:?}")),
+        }
+    }
     mode
 }
 
 fn main() {
-    let suites = [
-        ("mapping", REQUIRED_MAPPING),
-        ("gnn", REQUIRED_GNN),
-        ("pipeline", REQUIRED_PIPELINE),
-        ("serve", REQUIRED_SERVE),
+    let suites: [(&str, &[&str], &[&str]); 4] = [
+        ("mapping", REQUIRED_MAPPING, REQUIRED_MAPPING_METRICS),
+        ("gnn", REQUIRED_GNN, &[]),
+        ("pipeline", REQUIRED_PIPELINE, &[]),
+        ("serve", REQUIRED_SERVE, REQUIRED_SERVE_METRICS),
     ];
-    for (suite, required) in suites {
-        let mode = check_suite(suite, required);
+    for (suite, required, required_metrics) in suites {
+        let mode = check_suite(suite, required, required_metrics);
         println!(
             "bench_check: OK (BENCH_{suite}.json, mode {mode}, {} required entries present)",
-            required.len()
+            required.len() + required_metrics.len()
         );
     }
 }

@@ -44,6 +44,20 @@ pub struct Measurement {
     pub iters_per_sample: u64,
 }
 
+/// One recorded service-level number (a value with a unit, not a
+/// timing): cache-hit rates, latency percentiles, throughputs. Metrics
+/// ride in the same `BENCH_<suite>.json` as the timing rows so their
+/// trajectory across PRs is captured by the same machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name, e.g. `load/hit_rate_pct`.
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit label, e.g. `percent`, `ms`, `per_sec`.
+    pub unit: String,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
     /// Full measurement (`cargo bench`).
@@ -58,6 +72,7 @@ pub struct Suite {
     name: String,
     mode: Mode,
     results: Vec<Measurement>,
+    metrics: Vec<Metric>,
 }
 
 impl Suite {
@@ -74,7 +89,20 @@ impl Suite {
             name: name.to_string(),
             mode,
             results: Vec::new(),
+            metrics: Vec::new(),
         }
+    }
+
+    /// Records a service-level metric in both modes (the value comes
+    /// from the caller's own run, so unlike timings it is as real in
+    /// smoke mode as in measure mode).
+    pub fn metric(&mut self, name: &str, value: f64, unit: &str) {
+        println!("metric {}/{name}: {value:.3} {unit}", self.name);
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
     }
 
     /// Registers and runs a cheap benchmark (sub-millisecond to
@@ -157,6 +185,17 @@ impl Suite {
                 if i + 1 < self.results.len() { "," } else { "" }
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}{}\n",
+                escape(&m.name),
+                m.value,
+                escape(&m.unit),
+                if i + 1 < self.metrics.len() { "," } else { "" }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -164,6 +203,11 @@ impl Suite {
     /// Completed measurements (for tests and tooling).
     pub fn results(&self) -> &[Measurement] {
         &self.results
+    }
+
+    /// Recorded service-level metrics (for tests and tooling).
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
     }
 }
 
@@ -278,5 +322,24 @@ mod tests {
     #[test]
     fn escape_handles_quotes() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn metrics_are_recorded_in_both_modes_and_serialised() {
+        for mode in [Mode::Smoke, Mode::Measure] {
+            let mut suite = Suite::new("t", mode);
+            suite.metric("load/hit_rate_pct", 75.0, "percent");
+            suite.metric("load/p50_ms", 1.25, "ms");
+            assert_eq!(suite.metrics().len(), 2);
+            let json = suite.to_json();
+            assert!(json.contains("\"name\": \"load/hit_rate_pct\", \"value\": 75.000"));
+            assert!(json.contains("\"unit\": \"ms\""));
+        }
+    }
+
+    #[test]
+    fn empty_metrics_array_is_still_emitted() {
+        let suite = Suite::new("t", Mode::Smoke);
+        assert!(suite.to_json().contains("\"metrics\": [\n  ]"));
     }
 }

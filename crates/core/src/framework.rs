@@ -9,14 +9,15 @@
 
 use lisa_arch::Accelerator;
 use lisa_dfg::Dfg;
-use lisa_gnn::dataset::NodeGraphSample;
 use lisa_gnn::metrics::{try_accuracy, LabelKind};
 use lisa_gnn::models::{EdgeMlp, ScheduleOrderNet, SpatialNet};
-use lisa_labels::attributes::{DfgAttributes, DUMMY_ATTR_DIM, EDGE_ATTR_DIM, NODE_ATTR_DIM};
+use lisa_gnn::PlanScratch;
+use lisa_labels::attributes::{DUMMY_ATTR_DIM, EDGE_ATTR_DIM, NODE_ATTR_DIM};
 use lisa_labels::TrainingSet;
 use lisa_mapper::schedule::IiSearch;
 use lisa_mapper::{GuidanceLabels, LabelSaMapper, Mapping, MappingOutcome};
 
+use crate::compiled::CompiledModel;
 use crate::pipeline::{Pipeline, TrainError};
 use crate::report::{LabelAccuracy, TrainingStats};
 use crate::LisaConfig;
@@ -47,6 +48,9 @@ pub struct Lisa {
     same_level_net: EdgeMlp,
     spatial_net: SpatialNet,
     temporal_net: EdgeMlp,
+    /// The four networks frozen into tape-free plans at construction;
+    /// every label prediction this instance serves runs on these.
+    compiled: CompiledModel,
     stats: TrainingStats,
 }
 
@@ -81,6 +85,8 @@ impl Lisa {
         temporal_net: EdgeMlp,
         stats: TrainingStats,
     ) -> Lisa {
+        let compiled =
+            CompiledModel::freeze(&schedule_net, &same_level_net, &spatial_net, &temporal_net);
         Lisa {
             accelerator_name,
             config,
@@ -88,6 +94,7 @@ impl Lisa {
             same_level_net,
             spatial_net,
             temporal_net,
+            compiled,
             stats,
         }
     }
@@ -104,65 +111,21 @@ impl Lisa {
 
     /// Derives the four guidance labels for a new DFG with the trained
     /// GNNs (Fig. 2 right: milliseconds instead of the iterative method's
-    /// minutes).
+    /// minutes). Runs on the frozen [`CompiledModel`] — no tape, no
+    /// graph dispatch — with output bit-identical to the historical
+    /// `Graph::inference` path.
     ///
     /// Predictions are post-processed for mapper consumption: spatial
     /// distances are clamped to ≥ 0 and temporal distances to ≥ 1
     /// (causality).
     pub fn predict_labels(&self, dfg: &Dfg) -> GuidanceLabels {
-        // One forward-only tape serves every prediction of this call:
-        // inference mode skips op journaling, and reset() keeps the
-        // arena's buffers between networks.
-        let mut g = lisa_gnn::Graph::inference();
-        let attrs = DfgAttributes::generate(dfg);
-        let node_sample = NodeGraphSample {
-            node_attrs: attrs.node.clone(),
-            neighbors: DfgAttributes::adjacency(dfg),
-            targets: vec![0.0; dfg.node_count()],
-        };
-        let schedule_order = self.schedule_net.predict_with(&mut g, &node_sample);
+        self.compiled.predict(dfg)
+    }
 
-        let same_level = attrs
-            .dummy_edges
-            .iter()
-            .zip(&attrs.dummy)
-            .map(|(d, a)| {
-                (
-                    d.a,
-                    d.b,
-                    self.same_level_net.predict_with(&mut g, a).max(0.0),
-                )
-            })
-            .collect();
-
-        let mut spatial = Vec::with_capacity(dfg.edge_count());
-        let mut temporal = Vec::with_capacity(dfg.edge_count());
-        for e in dfg.edge_ids() {
-            let ctx = lisa_gnn::dataset::ContextEdgeSample {
-                attrs: attrs.edge[e.index()].clone(),
-                neighbor_attrs: attrs.edge_neighborhood(dfg, e),
-                target: 0.0,
-            };
-            let sp = self.spatial_net.predict_with(&mut g, &ctx).max(0.0);
-            // Physical consistency: a value moves at most one hop per
-            // cycle, so the expected temporal distance can never be below
-            // the expected spatial distance (extracted training labels
-            // satisfy this by construction; predictions must too).
-            let tp = self
-                .temporal_net
-                .predict_with(&mut g, &attrs.edge[e.index()])
-                .max(1.0)
-                .max(sp);
-            spatial.push(sp);
-            temporal.push(tp);
-        }
-
-        GuidanceLabels {
-            schedule_order,
-            same_level,
-            spatial,
-            temporal,
-        }
+    /// The four label networks frozen into tape-free inference plans at
+    /// construction time (see [`CompiledModel`]).
+    pub fn compiled(&self) -> &CompiledModel {
+        &self.compiled
     }
 
     /// Maps a DFG with GNN-predicted labels and the label-aware SA, driving
@@ -221,6 +184,8 @@ impl Lisa {
         temporal_net
             .import_weights(&parts[3])
             .map_err(wrap("temporal"))?;
+        let compiled =
+            CompiledModel::freeze(&schedule_net, &same_level_net, &spatial_net, &temporal_net);
         Ok(Lisa {
             accelerator_name,
             config: config.clone(),
@@ -228,6 +193,7 @@ impl Lisa {
             same_level_net,
             spatial_net,
             temporal_net,
+            compiled,
             stats: TrainingStats {
                 dfgs_generated: 0,
                 dfgs_labelled: 0,
@@ -278,31 +244,38 @@ pub(crate) fn evaluate_accuracy(
     temporal_net: &EdgeMlp,
     set: &TrainingSet,
 ) -> LabelAccuracy {
-    // Shared forward-only tape for the whole holdout sweep.
-    let mut graph = lisa_gnn::Graph::inference();
-    let mut order_preds = Vec::new();
-    let mut order_truths = Vec::new();
-    for g in &set.node_graphs {
-        order_preds.extend(schedule_net.predict_with(&mut graph, g));
-        order_truths.extend(g.targets.iter().copied());
-    }
-    let sl_preds: Vec<f64> = set
-        .same_level
-        .iter()
-        .map(|s| same_level_net.predict_with(&mut graph, &s.attrs))
-        .collect();
+    // Compiled plans and one warm scratch for the whole holdout sweep;
+    // bit-identical to the historical shared-tape path.
+    let schedule = schedule_net.compile();
+    let same_level = same_level_net.compile();
+    let spatial = spatial_net.compile();
+    let temporal = temporal_net.compile();
+    let (order_preds, order_truths, sl_preds, sp_preds, tp_preds) = PlanScratch::with(|scratch| {
+        let mut order_preds = Vec::new();
+        let mut order_truths = Vec::new();
+        for g in &set.node_graphs {
+            order_preds.extend(schedule.predict(scratch, g));
+            order_truths.extend(g.targets.iter().copied());
+        }
+        let sl_preds: Vec<f64> = set
+            .same_level
+            .iter()
+            .map(|s| same_level.predict(scratch, &s.attrs))
+            .collect();
+        let sp_preds: Vec<f64> = set
+            .spatial
+            .iter()
+            .map(|s| spatial.predict(scratch, s))
+            .collect();
+        let tp_preds: Vec<f64> = set
+            .temporal
+            .iter()
+            .map(|s| temporal.predict(scratch, &s.attrs))
+            .collect();
+        (order_preds, order_truths, sl_preds, sp_preds, tp_preds)
+    });
     let sl_truths: Vec<f64> = set.same_level.iter().map(|s| s.target).collect();
-    let sp_preds: Vec<f64> = set
-        .spatial
-        .iter()
-        .map(|s| spatial_net.predict_with(&mut graph, s))
-        .collect();
     let sp_truths: Vec<f64> = set.spatial.iter().map(|s| s.target).collect();
-    let tp_preds: Vec<f64> = set
-        .temporal
-        .iter()
-        .map(|s| temporal_net.predict_with(&mut graph, &s.attrs))
-        .collect();
     let tp_truths: Vec<f64> = set.temporal.iter().map(|s| s.target).collect();
 
     // `try_accuracy` yields None for an empty split: a fully-filtered

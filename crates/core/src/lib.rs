@@ -40,6 +40,7 @@
 
 use std::fmt;
 
+mod compiled;
 mod config;
 mod framework;
 mod model_io;
@@ -48,6 +49,7 @@ mod registry;
 mod report;
 pub mod request;
 
+pub use compiled::CompiledModel;
 pub use config::LisaConfig;
 pub use framework::Lisa;
 pub use model_io::ModelImportError;

@@ -58,7 +58,7 @@ impl CsrAdjacency {
     /// Panics if an index exceeds `u32::MAX`.
     pub fn from_neighbors(neighbors: &[Vec<usize>]) -> Self {
         let mut offsets = Vec::with_capacity(neighbors.len() + 1);
-        let mut indices = Vec::new();
+        let mut indices = Vec::with_capacity(neighbors.iter().map(Vec::len).sum());
         offsets.push(0u32);
         for ns in neighbors {
             for &u in ns {
@@ -74,6 +74,36 @@ impl CsrAdjacency {
 
     /// Number of consumers (rows of the CSR form).
     pub fn consumer_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn neighbors(&self, j: usize) -> &[u32] {
+        &self.indices[self.offsets[j] as usize..self.offsets[j + 1] as usize]
+    }
+
+    /// Borrows the CSR arrays without touching the `Arc` refcounts.
+    pub(crate) fn view(&self) -> CsrView<'_> {
+        CsrView {
+            offsets: &self.offsets,
+            indices: &self.indices,
+        }
+    }
+}
+
+/// Borrowed CSR adjacency: the same `offsets`/`indices` layout as
+/// [`CsrAdjacency`] but over plain slices, so compiled plans can refill
+/// scratch-owned vectors per prediction instead of paying two `Arc`
+/// allocations per call. [`gather_pool_forward`] consumes this form;
+/// the owning type lends one via [`CsrAdjacency::view`].
+#[derive(Clone, Copy)]
+pub(crate) struct CsrView<'a> {
+    pub(crate) offsets: &'a [u32],
+    pub(crate) indices: &'a [u32],
+}
+
+impl CsrView<'_> {
+    /// Number of consumers (rows of the CSR form).
+    pub(crate) fn consumer_count(&self) -> usize {
         self.offsets.len() - 1
     }
 
@@ -134,7 +164,77 @@ enum Op {
     },
 }
 
-const RECIP_EPS: f64 = 1e-6;
+pub(crate) const RECIP_EPS: f64 = 1e-6;
+
+/// Forward fill of [`Graph::gather_pool`]: for each consumer `j` of
+/// `adj`, pools the columns of `srcv` named by its neighbour list and
+/// stacks `[mean; max; min]` into `out`, which must hold
+/// `3 * srcv.rows() * adj.consumer_count()` elements. Every element is
+/// written — consumers without neighbours get explicit zero columns —
+/// so `out` does not need to be pre-zeroed.
+///
+/// Shared by the tape op and the compiled inference plans so the two
+/// paths stay bit-identical: one accumulation order, one mean scaling.
+pub(crate) fn gather_pool_forward(srcv: &Tensor, adj: CsrView<'_>, out: &mut [f64]) {
+    let h = srcv.rows();
+    let n_out = adj.consumer_count();
+    let cols = srcv.cols();
+    let data = srcv.data();
+    debug_assert_eq!(out.len(), 3 * h * n_out);
+    // The three poolings write into separate row bands; splitting them up
+    // front keeps the inner loops on plain slices with no per-element
+    // shape math. Per output element the fold over the neighbor list is
+    // the historical one — the first neighbor's value seeds sum/max/min,
+    // the rest fold in list order, the mean applies the same `1/len`
+    // reciprocal — so results are bit-identical.
+    // Validate every neighbour index once up front: the gather loops
+    // below re-walk the same list `h` times and rely on this bound for
+    // unchecked loads.
+    assert!(
+        adj.indices.iter().all(|&u| (u as usize) < cols),
+        "neighbor index out of range"
+    );
+    let (avg_band, rest_bands) = out.split_at_mut(h * n_out);
+    let (max_band, min_band) = rest_bands.split_at_mut(h * n_out);
+    for j in 0..n_out {
+        let neigh = adj.neighbors(j);
+        let Some((&first, rest)) = neigh.split_first() else {
+            // Neighbour-less consumers pool to zero columns. Writing the
+            // zeros here (instead of relying on a pre-zeroed `out`) means
+            // every element of `out` is written, so callers may hand in a
+            // stale buffer without paying a full clear first.
+            for k in 0..h {
+                avg_band[k * n_out + j] = 0.0;
+                max_band[k * n_out + j] = 0.0;
+                min_band[k * n_out + j] = 0.0;
+            }
+            continue;
+        };
+        let inv = 1.0 / neigh.len() as f64;
+        for k in 0..h {
+            let row = k * cols;
+            // SAFETY: every index was asserted `< cols` above, `k < h`,
+            // and `data` holds `h * cols` elements, so
+            // `row + u < h * cols`.
+            let v0 = unsafe { *data.get_unchecked(row + first as usize) };
+            let (mut sum, mut max, mut min) = (v0, v0, v0);
+            for &u in rest {
+                // SAFETY: as above.
+                let v = unsafe { *data.get_unchecked(row + u as usize) };
+                sum += v;
+                max = max.max(v);
+                min = min.min(v);
+            }
+            // SAFETY: `k < h` and `j < n_out`, so `k * n_out + j` lies
+            // within each `h * n_out`-element band.
+            unsafe {
+                *avg_band.get_unchecked_mut(k * n_out + j) = sum * inv;
+                *max_band.get_unchecked_mut(k * n_out + j) = max;
+                *min_band.get_unchecked_mut(k * n_out + j) = min;
+            }
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Node {
@@ -479,26 +579,7 @@ impl Graph {
         let h = srcv.rows();
         let n_out = adj.consumer_count();
         buf.resize(3 * h * n_out, 0.0);
-        for j in 0..n_out {
-            let neigh = adj.neighbors(j);
-            let Some((&first, rest)) = neigh.split_first() else {
-                continue;
-            };
-            let inv = 1.0 / neigh.len() as f64;
-            for k in 0..h {
-                let v0 = srcv.get(k, first as usize);
-                let (mut sum, mut max, mut min) = (v0, v0, v0);
-                for &u in rest {
-                    let v = srcv.get(k, u as usize);
-                    sum += v;
-                    max = max.max(v);
-                    min = min.min(v);
-                }
-                buf[k * n_out + j] = sum * inv;
-                buf[(h + k) * n_out + j] = max;
-                buf[(2 * h + k) * n_out + j] = min;
-            }
-        }
+        gather_pool_forward(srcv, adj.view(), &mut buf);
         let v = Tensor::from_vec(3 * h, n_out, buf);
         self.push(
             Op::GatherPool {

@@ -41,10 +41,12 @@ pub mod io;
 pub mod metrics;
 pub mod models;
 mod params;
+mod plan;
 mod tensor;
 mod train;
 
 pub use graph::{CsrAdjacency, Graph, VarId};
 pub use params::{Adam, ParamGrads, ParamId, ParamStore};
+pub use plan::{CompiledEdgeMlp, CompiledScheduleOrder, CompiledSpatial, PlanScratch};
 pub use tensor::Tensor;
 pub use train::{TrainConfig, TrainReport};

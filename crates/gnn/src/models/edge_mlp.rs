@@ -160,6 +160,26 @@ impl EdgeMlp {
         g.value(y).item()
     }
 
+    /// Freezes the current weights into a tape-free inference plan (see
+    /// [`crate::CompiledEdgeMlp`]); predictions are bit-identical to
+    /// [`Self::predict`]. Later training of `self` does not affect the
+    /// returned plan.
+    pub fn compile(&self) -> crate::CompiledEdgeMlp {
+        let mut p = crate::plan::ProgramBuilder::new();
+        let w1 = p.weight(&self.store, self.w1);
+        let b1 = p.weight(&self.store, self.b1);
+        let w2 = p.weight(&self.store, self.w2);
+        let b2 = p.weight(&self.store, self.b2);
+        let readout = p.weight(&self.store, self.readout);
+        let h = p.matmul(w1, crate::plan::ProgramBuilder::INPUT);
+        let h = p.add_cols(h, b1);
+        let h = p.relu(h);
+        let h = p.matmul(w2, h);
+        let h = p.add_cols(h, b2);
+        let y = p.matmul(readout, h);
+        crate::CompiledEdgeMlp::new(p.finish(y), self.attr_dim)
+    }
+
     /// Trains on the samples with MSE loss.
     pub fn train(&mut self, samples: &[EdgeSample], config: &TrainConfig) -> TrainReport {
         self.train_observed(samples, config, "edge_mlp", &EventSink::null())

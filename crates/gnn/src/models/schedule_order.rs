@@ -183,6 +183,33 @@ impl ScheduleOrderNet {
         g.value(out).data().to_vec()
     }
 
+    /// Freezes the current weights into a tape-free inference plan (see
+    /// [`crate::CompiledScheduleOrder`]); predictions are bit-identical
+    /// to [`Self::predict`]. Later training of `self` does not affect
+    /// the returned plan.
+    pub fn compile(&self) -> crate::CompiledScheduleOrder {
+        let mut p = crate::plan::ProgramBuilder::new();
+        let w0 = p.weight(&self.store, self.w0);
+        let embed = p.weight(&self.store, self.embed);
+        let x = crate::plan::ProgramBuilder::INPUT;
+        let mut h = p.matmul(embed, x);
+        let mut m = p.matmul(w0, x);
+        for layer in &self.layers {
+            let w1 = p.weight(&self.store, layer.w1);
+            let w2 = p.weight(&self.store, layer.w2);
+            let w3 = p.weight(&self.store, layer.w3);
+            let pooled = p.gather_pool(m);
+            let mv = p.matmul(w1, pooled);
+            let w3h = p.matmul(w3, h);
+            let inner = p.add(w3h, mv);
+            h = p.matmul(w2, inner);
+            m = mv;
+        }
+        let readout = p.weight(&self.store, self.readout);
+        let y = p.matmul(readout, h);
+        crate::CompiledScheduleOrder::new(p.finish(y), self.attr_dim)
+    }
+
     /// Trains on graph samples; the per-sample loss is the mean squared
     /// error over that sample's nodes.
     pub fn train(&mut self, samples: &[NodeGraphSample], config: &TrainConfig) -> TrainReport {

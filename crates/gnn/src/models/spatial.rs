@@ -183,6 +183,31 @@ impl SpatialNet {
         g.value(y).item()
     }
 
+    /// Freezes the current weights into a tape-free inference plan (see
+    /// [`crate::CompiledSpatial`]); predictions are bit-identical to
+    /// [`Self::predict`]. Later training of `self` does not affect the
+    /// returned plan.
+    pub fn compile(&self) -> crate::CompiledSpatial {
+        let mut p = crate::plan::ProgramBuilder::new();
+        let w1 = p.weight(&self.store, self.w1);
+        let w2 = p.weight(&self.store, self.w2);
+        let w3 = p.weight(&self.store, self.w3);
+        let readout = p.weight(&self.store, self.readout);
+        // Eq. 4 then Eq. 6; the ν gate itself runs outside the op
+        // sequence (ragged per-sample input) and feeds ScaleColsNu.
+        let h1 = p.matmul(w1, crate::plan::ProgramBuilder::INPUT);
+        let a = p.matmul(w2, h1);
+        let b = p.matmul(w3, h1);
+        let gated = p.scale_cols_nu(b);
+        let h2 = p.add(a, gated);
+        let y = p.matmul(readout, h2);
+        crate::CompiledSpatial::new(
+            p.finish(y),
+            self.store.value(self.w_nu).clone(),
+            self.attr_dim,
+        )
+    }
+
     /// Trains on the samples with MSE loss.
     pub fn train(&mut self, samples: &[ContextEdgeSample], config: &TrainConfig) -> TrainReport {
         self.train_observed(samples, config, "spatial", &EventSink::null())

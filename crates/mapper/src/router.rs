@@ -165,8 +165,13 @@ pub fn find_route_in(
     // a value still needs, so a state at layer `k` whose PE is further
     // than the remaining `layers - k` moves (counting the final consume
     // hop) can never feed the consumer. Pruned states only ever expand to
-    // other pruned states, so surviving costs, heap pop order, and the
-    // chosen route are exactly what the unpruned search would produce.
+    // other pruned states, so surviving costs, heap pop order (the total
+    // order on `(cost, idx)`), and the chosen route are exactly what the
+    // unpruned search would produce. This holds for *any* true lower
+    // bound: on big fabrics `hop_distance` comes from a landmark oracle
+    // that may under-estimate far distances, which only admits extra
+    // dead-end states — never changes the route (tested below against
+    // the dense index).
     let acc = mrrg.accelerator();
     let reachable =
         |r: Resource, layer: usize| acc.hop_distance(r.pe(), dst_pe) as usize <= layers - layer;
@@ -384,6 +389,66 @@ mod tests {
         // All steps must be FU hops on a monotone staircase.
         for s in &steps {
             assert!(s.resource.is_fu());
+        }
+    }
+
+    /// The result-identity contract of cone pruning: on a fabric big
+    /// enough that the landmark oracle is in play (12×12, beyond the
+    /// dense auto-threshold) every route — short, long-haul past the
+    /// oracle's exact radius, congested, or infeasible — must be
+    /// byte-identical to the one found with the exact dense table.
+    #[test]
+    fn oracle_and_dense_indexes_route_identically() {
+        use lisa_arch::DistanceMode;
+
+        let oracle = Accelerator::cgra("12x12", 12, 12);
+        let dense = Accelerator::cgra("12x12", 12, 12).with_distance_mode(DistanceMode::Dense);
+        assert_eq!(oracle.distance_index_kind(), "oracle");
+        assert_eq!(dense.distance_index_kind(), "dense");
+        let mrrg_o = Mrrg::new(&oracle, 4).unwrap();
+        let mrrg_d = Mrrg::new(&dense, 4).unwrap();
+
+        // Congestion pattern: scattered FUs unusable at odd cycles.
+        let congested = |r: Resource, t: u32| {
+            (!(matches!(r, Resource::Fu(p) if p.index() % 7 == 3) && t % 2 == 1)).then_some(1)
+        };
+        // (src, dst, latency): corner-to-corner crosses Manhattan 22,
+        // far beyond the oracle's exact radius; the tight case gives the
+        // route zero slack; the short case stays inside the exact ball.
+        let cases = [
+            (0usize, 143usize, 23u32),
+            (0, 143, 26),
+            (12, 140, 20),
+            (5, 5, 3),
+            (0, 7, 8),
+            (130, 2, 24),
+            (0, 143, 12), // infeasible: latency below Manhattan distance
+        ];
+        for (src, dst, latency) in cases {
+            for cost in [
+                &any_usable as &dyn Fn(Resource, u32) -> Option<u32>,
+                &congested,
+            ] {
+                let ro = find_route(
+                    &mrrg_o,
+                    NodeId::new(0),
+                    PeId::new(src),
+                    0,
+                    PeId::new(dst),
+                    latency,
+                    cost,
+                );
+                let rd = find_route(
+                    &mrrg_d,
+                    NodeId::new(0),
+                    PeId::new(src),
+                    0,
+                    PeId::new(dst),
+                    latency,
+                    cost,
+                );
+                assert_eq!(ro, rd, "route diverged for {src}->{dst}@{latency}");
+            }
         }
     }
 

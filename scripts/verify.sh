@@ -20,6 +20,14 @@ cargo test -q --offline
 cargo test -q --offline -p lisa-bench --benches
 cargo run -q --offline -p lisa-bench --bin bench_check
 
+# Big-fabric mapping smoke: map a small kernel end-to-end on a 16×16
+# CGRA (256 PEs — beyond the dense hop-table threshold, so the landmark
+# distance oracle is exercised). The untrained SA baseline with a small
+# kernel and a tight II cap keeps the wall-clock bounded (~seconds).
+cargo run -q --release --offline --bin lisa-map -- \
+    doitgen --arch 16x16 --mapper sa --max-ii 8 --seed 7
+echo "verify: 16x16 fabric maps end-to-end on the distance oracle"
+
 # Pipeline kill/resume smoke: a checkpointed training run stopped after
 # the label stage must resume to a model byte-identical with an
 # uninterrupted run of the same config.

@@ -13,7 +13,9 @@
 //! kernel:  one of the 12 PolyBench kernels (gemm, atax, ...),
 //!          `core:<kernel>` for the systolic compute core, or
 //!          `rand:<seed>` for a synthetic DFG
-//! --arch:  3x3 | 4x4 | 4x4-lr | 4x4-lm | 8x8 | systolic   (default 4x4)
+//! --arch:  3x3 | 4x4 | 4x4-lr | 4x4-lm | 8x8 | systolic   (default 4x4),
+//!          or any `ROWSxCOLS` (e.g. 16x16) for a baseline CGRA — big
+//!          fabrics index hop distances with the landmark oracle
 //! --show:  print the time-extended mapping grid (Fig. 5 style)
 //! ```
 //!
@@ -187,21 +189,37 @@ fn parse_train_args() -> Result<TrainOptions, String> {
 }
 
 fn usage() -> String {
-    "usage: lisa-map <kernel|core:<kernel>|rand:<seed>> [--arch 3x3|4x4|4x4-lr|4x4-lm|8x8|systolic] \
+    "usage: lisa-map <kernel|core:<kernel>|rand:<seed>> \
+     [--arch 3x3|4x4|4x4-lr|4x4-lm|8x8|systolic|<RxC>] \
      [--mapper lisa|sa|greedy|ilp] [--model path] [--unroll k] [--max-ii n] [--seed n] [--show]\n\
      \x20      lisa-map train --help   for offline training"
         .to_string()
 }
 
 fn train_usage() -> String {
-    "usage: lisa-map train [--arch 3x3|4x4|4x4-lr|4x4-lm|8x8|systolic] [--full] [--dfgs n] \
+    "usage: lisa-map train [--arch 3x3|4x4|4x4-lr|4x4-lm|8x8|systolic|<RxC>] [--full] [--dfgs n] \
      [--seed n] [--checkpoint dir] [--resume dir] [--stop-after stage] [--out path] \
      [--verbose] [--quiet]"
         .to_string()
 }
 
+/// Resolves an `--arch` key: first the named catalog, then a bare
+/// `ROWSxCOLS` dimension spec (e.g. `16x16`) building a baseline CGRA —
+/// the escape hatch for fabrics beyond the paper suite, where the
+/// accelerator automatically switches its hop-distance index from the
+/// dense table to the landmark oracle.
 fn build_arch(key: &str) -> Result<Accelerator, String> {
-    Accelerator::standard(key).ok_or_else(|| format!("unknown architecture {key}\n{}", usage()))
+    if let Some(acc) = Accelerator::standard(key) {
+        return Ok(acc);
+    }
+    if let Some((r, c)) = key.split_once('x') {
+        if let (Ok(rows), Ok(cols)) = (r.parse::<usize>(), c.parse::<usize>()) {
+            if rows > 0 && cols > 0 {
+                return Ok(Accelerator::cgra(key, rows, cols));
+            }
+        }
+    }
+    Err(format!("unknown architecture {key}\n{}", usage()))
 }
 
 fn build_dfg(spec: &str, factor: u32) -> Result<Dfg, String> {
