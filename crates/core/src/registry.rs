@@ -8,7 +8,7 @@
 //! prediction a resident model serves is tape-free from the first
 //! request.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -17,9 +17,13 @@ use std::sync::Arc;
 use crate::{Lisa, LisaConfig, ModelImportError};
 
 /// Trained models keyed by the accelerator name they were trained for.
+///
+/// Ordered storage (DET001): the registry's key iteration feeds
+/// [`ModelRegistry::accelerators`], which reaches daemon output, so the
+/// map must not depend on per-process hash seeding.
 #[derive(Debug, Default, Clone)]
 pub struct ModelRegistry {
-    models: HashMap<String, Arc<Lisa>>,
+    models: BTreeMap<String, Arc<Lisa>>,
 }
 
 /// Why loading a model into the registry failed.
@@ -145,11 +149,10 @@ impl ModelRegistry {
         self.models.get(accelerator).cloned()
     }
 
-    /// Accelerator names with a resident model, sorted.
+    /// Accelerator names with a resident model, sorted (the `BTreeMap`
+    /// already iterates in key order).
     pub fn accelerators(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.models.keys().map(String::as_str).collect();
-        names.sort_unstable();
-        names
+        self.models.keys().map(String::as_str).collect()
     }
 
     /// Number of resident models.

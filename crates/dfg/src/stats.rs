@@ -49,7 +49,9 @@ impl DfgStats {
     /// ```
     pub fn of(dfg: &Dfg) -> DfgStats {
         let levels = analysis::asap(dfg);
-        let mut level_width = std::collections::HashMap::new();
+        // Ordered map (DET001): only the max of the values is read, but
+        // stats render into EXPERIMENTS tables — keep them order-free.
+        let mut level_width = std::collections::BTreeMap::new();
         for &l in &levels {
             *level_width.entry(l).or_insert(0usize) += 1;
         }

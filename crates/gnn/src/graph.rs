@@ -219,7 +219,8 @@ pub(crate) fn gather_pool_forward(srcv: &Tensor, adj: CsrView<'_>, out: &mut [f6
             let v0 = unsafe { *data.get_unchecked(row + first as usize) };
             let (mut sum, mut max, mut min) = (v0, v0, v0);
             for &u in rest {
-                // SAFETY: as above.
+                // SAFETY: `u` was asserted `< cols` above, so
+                // `row + u < h * cols` as for `first`.
                 let v = unsafe { *data.get_unchecked(row + u as usize) };
                 sum += v;
                 max = max.max(v);

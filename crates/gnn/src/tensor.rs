@@ -516,8 +516,7 @@ fn kernel_tile<const R: usize, const W: usize, const Z: bool, const E: u8>(
         // SAFETY: `chunks_exact(n)` yields rows of exactly `n` elements
         // and `j0 + W <= n`, so the window lies within the row; a `&[f64]`
         // of length `W` has the same layout as `&[f64; W]`.
-        let bt: &[f64; W] =
-            unsafe { &*(b_row.get_unchecked(j0..j0 + W).as_ptr() as *const [f64; W]) };
+        let bt = unsafe { &*(b_row.get_unchecked(j0..j0 + W).as_ptr() as *const [f64; W]) };
         for (rr, tile) in acc.iter_mut().enumerate() {
             // SAFETY: `rr < R` and `i < k`, so `rr * k + i < R * k`.
             let x = unsafe { *a.get_unchecked(rr * k + i) };

@@ -1,0 +1,35 @@
+//! DET001 fixture: hash containers in a determinism-critical crate.
+//! Never compiled — scanned only by `tests/fixtures_test.rs`
+//! (`lint.toml` excludes this tree from the workspace gate).
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn violations() {
+    let a: HashMap<u32, u32> = HashMap::new();
+    let b = HashSet::from([1u8]);
+    let _ = (a, b);
+}
+
+fn waived() {
+    // lisa-lint: allow(DET001) membership-only probe; never iterated
+    let c: HashSet<u8> = HashSet::new();
+    let _ = c;
+}
+
+fn lookalikes_and_strings_are_inert() {
+    struct MyHashMapLike;
+    let _ = MyHashMapLike;
+    let s = "a HashMap mentioned in a string literal";
+    let _ = s;
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let _ = HashMap::<u8, u8>::new();
+    }
+}

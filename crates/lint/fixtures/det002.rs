@@ -1,0 +1,22 @@
+//! DET002 fixture: wall-clock reads in code that feeds cache-keyed
+//! response bodies or serialized artifacts. Never compiled.
+
+fn violations() -> u128 {
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or_default();
+    let i = std::time::Instant::now();
+    let _ = i;
+    t
+}
+
+fn waived() {
+    // lisa-lint: allow(DET002) telemetry only; never keyed or persisted
+    let _ = std::time::Instant::now();
+}
+
+fn strings_and_comments_are_inert() {
+    // Instant::now() named in a comment is fine.
+    let _ = "so is SystemTime::now() in a string";
+}

@@ -1,0 +1,18 @@
+//! DET003 fixture: ambient randomness outside a seeded `lisa_rng`
+//! handle. Never compiled.
+
+fn violations() {
+    let r = rand::thread_rng();
+    let s = std::collections::hash_map::RandomState::new();
+    let _ = (r, s);
+}
+
+fn waived(rng: SmallRng) {
+    // lisa-lint: allow(DET003) reseed path is gated behind --entropy
+    let f = SmallRng::from_entropy();
+    let _ = (rng, f);
+}
+
+fn strings_are_inert() {
+    let _ = "thread_rng() quoted in prose";
+}

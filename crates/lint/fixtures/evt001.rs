@@ -1,0 +1,30 @@
+//! EVT001 fixture: observer callbacks must not mutate
+//! trajectory-affecting state. Never compiled.
+
+struct Tap {
+    sink: Sink,
+}
+
+impl Observer for Tap {
+    fn on_step(&mut self, e: &Event) {
+        self.sink.emit(e);
+        self.stage.commit(e);
+    }
+}
+
+impl Waived {
+    fn not_an_observer(&self) {
+        self.stage.commit(());
+    }
+}
+
+impl Observer for Waived {
+    fn on_step(&mut self, e: &Event) {
+        // lisa-lint: allow(EVT001) sink is a bounded buffer; read-only tap
+        self.sink.emit(e);
+    }
+}
+
+fn outside_any_observer(sink: &Sink, e: &Event) {
+    sink.emit(e);
+}

@@ -1,0 +1,19 @@
+//! LINT001 fixture: the waiver mechanism polices itself. Never
+//! compiled.
+
+fn stale() {
+    // lisa-lint: allow(DET001) nothing hashed here
+    let x = 1;
+    let _ = x;
+}
+
+fn unknown_rule() {
+    // lisa-lint: allow(NOPE001) who knows
+    let y = 2;
+    let _ = y;
+}
+
+fn missing_reason(x: Option<u8>) -> u8 {
+    // lisa-lint: allow(PANIC001)
+    x.unwrap()
+}

@@ -1,0 +1,20 @@
+//! PANIC001 fixture: panic paths in daemon-request / pipeline-resume
+//! code. Never compiled.
+
+fn violations(x: Option<u8>, r: Result<u8, u8>) -> u8 {
+    let a = x.unwrap();
+    let b = r.expect("always ok");
+    if a == 0 {
+        panic!("boom");
+    }
+    a + b
+}
+
+fn poison_recovery_is_fine(m: &std::sync::Mutex<u8>) -> u8 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn waived(x: Option<u8>) -> u8 {
+    // lisa-lint: allow(PANIC001) startup-only; unreachable per request
+    x.unwrap()
+}

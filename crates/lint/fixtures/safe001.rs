@@ -1,0 +1,24 @@
+//! SAFE001 fixture: `unsafe` with and without a justification.
+//! Never compiled.
+
+fn violation(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn justified(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+/// # Safety
+///
+/// `p` must be valid for reads.
+#[inline]
+unsafe fn doc_justified(p: *const u8) -> u8 {
+    *p
+}
+
+fn waived(p: *const u8) -> u8 {
+    // lisa-lint: allow(SAFE001) justification lives on the sole caller
+    unsafe { *p }
+}

@@ -1,0 +1,238 @@
+//! `lint.toml` — which files are scanned and which rule applies where.
+//!
+//! The workspace is hermetic (no registry dependencies), so this module
+//! carries its own parser for the small TOML subset the config uses:
+//! `[section]` headers, `key = "string"`, and (possibly multi-line)
+//! `key = ["a", "b"]` string arrays. Comments start with `#` outside
+//! strings. Anything beyond that subset is a [`ConfigError`], not a
+//! silent skip — a typo in the gate's own config must fail the gate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::rules::RuleId;
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Directories (relative to the lint root) walked for `.rs` files.
+    pub roots: Vec<String>,
+    /// Path substrings excluded from the walk (fixture trees, test
+    /// directories).
+    pub exclude: Vec<String>,
+    /// Per-rule path prefixes; a rule applies to a file iff some prefix
+    /// matches. Paths use `/` separators relative to the lint root.
+    pub rule_paths: BTreeMap<RuleId, Vec<String>>,
+}
+
+impl Config {
+    /// The rules that apply to `rel_path` (a `/`-separated path relative
+    /// to the lint root).
+    pub fn rules_for(&self, rel_path: &str) -> Vec<RuleId> {
+        self.rule_paths
+            .iter()
+            .filter(|(_, prefixes)| prefixes.iter().any(|p| rel_path.starts_with(p.as_str())))
+            .map(|(&rule, _)| rule)
+            .collect()
+    }
+
+    /// Whether the walker should skip `rel_path`.
+    pub fn excluded(&self, rel_path: &str) -> bool {
+        self.exclude.iter().any(|e| rel_path.contains(e.as_str()))
+    }
+}
+
+/// Why `lint.toml` failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in the config file (0 for end-of-file conditions).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parses the config text.
+///
+/// # Errors
+///
+/// Any line outside the supported subset, an unknown section or rule
+/// name, or an unterminated array.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut config = Config::default();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            let known = section == "scan"
+                || section
+                    .strip_prefix("rules.")
+                    .is_some_and(|r| RuleId::parse(r).is_some());
+            if !known {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown section `[{section}]`"),
+                });
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("expected `key = value`, got `{line}`"),
+            });
+        };
+        let key = key.trim();
+        let mut value = value.trim().to_string();
+        // Multi-line arrays: keep consuming lines until brackets close.
+        while value.starts_with('[') && !value.ends_with(']') {
+            let Some((_, next)) = lines.next() else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unterminated array for `{key}`"),
+                });
+            };
+            value.push(' ');
+            value.push_str(strip_comment(next).trim());
+        }
+        let items = parse_string_array(&value).ok_or_else(|| ConfigError {
+            line: lineno,
+            message: format!("`{key}` must be a string or an array of strings"),
+        })?;
+        match (section.as_str(), key) {
+            ("scan", "roots") => config.roots = items,
+            ("scan", "exclude") => config.exclude = items,
+            (s, "paths") => {
+                let rule = s
+                    .strip_prefix("rules.")
+                    .and_then(RuleId::parse)
+                    .ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: format!("`paths` outside a `[rules.*]` section (in `[{s}]`)"),
+                    })?;
+                config.rule_paths.insert(rule, items);
+            }
+            (s, k) => {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown key `{k}` in section `[{s}]`"),
+                });
+            }
+        }
+    }
+    if config.roots.is_empty() {
+        return Err(ConfigError {
+            line: 0,
+            message: "missing `[scan] roots`".to_string(),
+        });
+    }
+    Ok(config)
+}
+
+/// Drops a trailing `# …` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"a"` (singleton) or `["a", "b"]` into the item list.
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = if let Some(stripped) = value.strip_prefix('[') {
+        stripped.strip_suffix(']')?
+    } else {
+        // A bare string is a one-element list.
+        return Some(vec![parse_string(value)?]);
+    };
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        items.push(parse_string(part)?);
+    }
+    Some(items)
+}
+
+fn parse_string(value: &str) -> Option<String> {
+    value
+        .strip_prefix('"')?
+        .strip_suffix('"')
+        .map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let text = r#"
+# top comment
+[scan]
+roots = ["crates", "src"] # trailing
+exclude = ["/tests/"]
+
+[rules.DET001]
+paths = [
+    "crates/core/",
+    "crates/mapper/", # comment inside array
+]
+
+[rules.PANIC001]
+paths = "crates/serve/src/"
+"#;
+        let c = parse(text).unwrap();
+        assert_eq!(c.roots, ["crates", "src"]);
+        assert_eq!(c.exclude, ["/tests/"]);
+        assert_eq!(
+            c.rule_paths[&RuleId::Det001],
+            ["crates/core/", "crates/mapper/"]
+        );
+        assert_eq!(c.rule_paths[&RuleId::Panic001], ["crates/serve/src/"]);
+        assert_eq!(c.rules_for("crates/mapper/src/sa.rs"), [RuleId::Det001]);
+        assert!(c.rules_for("crates/arch/src/pe.rs").is_empty());
+        assert!(c.excluded("crates/gnn/tests/determinism.rs"));
+    }
+
+    #[test]
+    fn unknown_rule_section_is_an_error() {
+        let err = parse("[rules.NOPE]\npaths = [\"x\"]\n").unwrap_err();
+        assert!(err.message.contains("unknown section"), "{err}");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn missing_roots_is_an_error() {
+        let err = parse("[rules.DET001]\npaths = [\"x\"]\n").unwrap_err();
+        assert!(err.message.contains("roots"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_skips() {
+        assert!(parse("[scan]\nroots\n").is_err());
+        assert!(parse("[scan]\nroots = [unquoted]\n").is_err());
+        assert!(parse("[scan]\nroots = [\"a\"\n").is_err());
+        assert!(parse("[scan]\nbogus = \"x\"\n").is_err());
+    }
+}

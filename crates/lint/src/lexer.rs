@@ -1,0 +1,453 @@
+//! A line lexer that separates code from comments and blanks out string
+//! and character literals, so rule patterns never fire inside a string,
+//! a doc comment, or a `#[cfg(test)]` module.
+//!
+//! This is deliberately not a full Rust parser: rules match on
+//! line-local token patterns (`HashMap`, `.unwrap()`, `unsafe`), so the
+//! lexer only has to answer three questions exactly:
+//!
+//! 1. which bytes of a line are *code* (literal contents replaced by
+//!    spaces so offsets survive),
+//! 2. which bytes are *comment text* (`//`, `///`, `//!`, and `/* */`
+//!    including nesting — waivers and `// SAFETY:` discipline live
+//!    here), and
+//! 3. whether the line sits inside a test-gated region
+//!    (`#[cfg(test)] mod … { … }` or a `#[test]` item), which the rule
+//!    catalog exempts wholesale.
+//!
+//! Multi-line constructs — block comments, plain and raw string
+//! literals — carry state across lines; everything else is resolved
+//! within one line. Unterminated constructs at end of file are treated
+//! leniently (the remainder is swallowed in its current mode) because
+//! the workspace gate runs after `cargo build`, which has already
+//! rejected genuinely malformed source.
+
+/// One source line, split into its code and comment projections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexedLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The code projection: comments removed, string/char literal
+    /// contents replaced by spaces (quotes kept so the text stays
+    /// readable in findings).
+    pub code: String,
+    /// Concatenated comment text of the line (line, doc, and block
+    /// comment bodies), without the comment markers.
+    pub comment: String,
+    /// Whether the line's comment is a doc comment (`///` or `//!`).
+    /// Waivers are only honoured in plain comments, so documentation can
+    /// show verbatim waiver examples without creating one.
+    pub doc: bool,
+    /// Whether the line is inside a `#[cfg(test)]`/`#[test]`-gated item.
+    pub in_test: bool,
+}
+
+impl LexedLine {
+    /// Whether the code projection holds anything but whitespace.
+    pub fn has_code(&self) -> bool {
+        !self.code.trim().is_empty()
+    }
+
+    /// Whether the code projection is only an attribute (possibly the
+    /// start of a multi-line attribute), e.g. `#[inline]`.
+    pub fn is_attribute_only(&self) -> bool {
+        let t = self.code.trim();
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+}
+
+/// Cross-line lexer mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside `/* */`, with the current nesting depth (Rust block
+    /// comments nest).
+    Block(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` followed by this many
+    /// `#`s.
+    RawStr(u32),
+}
+
+/// Lexes a whole file into per-line code/comment projections with
+/// test-region marking.
+pub fn lex(source: &str) -> Vec<LexedLine> {
+    let mut mode = Mode::Code;
+    let mut lines = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let (code, comment, doc, next) = lex_line(raw, mode);
+        mode = next;
+        lines.push(LexedLine {
+            number: idx + 1,
+            code,
+            comment,
+            doc,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Lexes one line starting in `mode`; returns (code, comment, whether
+/// the comment is a doc comment, next mode).
+#[allow(clippy::too_many_lines)]
+fn lex_line(raw: &str, mut mode: Mode) -> (String, String, bool, Mode) {
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut doc = false;
+    let bytes: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::Code => {
+                if c == '/' && next == Some('/') {
+                    // Line comment (also /// and //!): rest is comment.
+                    doc = matches!(bytes.get(i + 2), Some('/' | '!'));
+                    comment.extend(bytes[i + 2..].iter());
+                    break;
+                }
+                if c == '/' && next == Some('*') {
+                    mode = Mode::Block(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                    continue;
+                }
+                // Raw (and byte/raw-byte) string openers: r"…", r#"…"#,
+                // br"…", b"…".
+                if (c == 'r' || c == 'b') && !prev_is_ident(&code) {
+                    if let Some((hashes, consumed)) = raw_string_open(&bytes[i..]) {
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i += consumed;
+                        continue;
+                    }
+                    if c == 'b' && next == Some('"') {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 2;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Distinguish a char literal from a lifetime. A char
+                    // literal closes with a `'` after one (possibly
+                    // escaped) character; a lifetime never closes.
+                    if let Some(consumed) = char_literal_len(&bytes[i..]) {
+                        code.push('\'');
+                        for _ in 0..consumed.saturating_sub(2) {
+                            code.push(' ');
+                        }
+                        code.push('\'');
+                        i += consumed;
+                        continue;
+                    }
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            Mode::Block(depth) => {
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+                i += 1;
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Escapes, including an escaped quote and the
+                    // trailing-backslash line continuation.
+                    code.push(' ');
+                    if next.is_some() {
+                        code.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                    continue;
+                }
+                code.push(' ');
+                i += 1;
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes[i + 1..], hashes) {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    (code, comment, doc, mode)
+}
+
+/// Whether the code emitted so far ends in an identifier character (so
+/// `r`/`b` here would be the tail of a name like `var`, not a raw-string
+/// prefix).
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Detects `r`/`rb`/`br` raw-string openers at the slice start; returns
+/// (hash count, chars consumed through the opening quote).
+fn raw_string_open(s: &[char]) -> Option<(u32, usize)> {
+    let mut i = 1;
+    if s[0] == 'b' {
+        if s.get(1) != Some(&'r') {
+            return None;
+        }
+        i = 2;
+    } else if s[0] != 'r' {
+        return None;
+    }
+    let mut hashes = 0u32;
+    while s.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    (s.get(i) == Some(&'"')).then_some((hashes, i + 1))
+}
+
+/// Whether the `"` just seen closes a raw string with `hashes` hashes.
+fn closes_raw(rest: &[char], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| rest.get(k) == Some(&'#'))
+}
+
+/// If the slice (starting at a `'`) begins a char literal, returns its
+/// total length in chars; `None` means it is a lifetime.
+fn char_literal_len(s: &[char]) -> Option<usize> {
+    match s.get(1)? {
+        '\\' => {
+            // Escaped char: scan to the closing quote (handles \u{…}).
+            let mut i = 2;
+            while let Some(&c) = s.get(i) {
+                if c == '\'' {
+                    return Some(i + 1);
+                }
+                i += 1;
+            }
+            None
+        }
+        &c => {
+            // `'x'` is a char literal; `'a` (no closing quote right
+            // after one char) is a lifetime. `''` never occurs in valid
+            // Rust.
+            (c != '\'' && s.get(2) == Some(&'\'')).then_some(3)
+        }
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]`- or `#[test]`-gated item.
+///
+/// Strategy: brace depth over the code projections. When a test
+/// attribute is seen, the next `{` opens the gated region at the depth
+/// it was seen; the region closes when depth returns there. A gated
+/// item that ends in `;` before any `{` (e.g. `#[cfg(test)] use …;`)
+/// just clears the pending attribute.
+fn mark_test_regions(lines: &mut [LexedLine]) {
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut region_close: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let mut in_test = region_close.is_some();
+        if !pending
+            && region_close.is_none()
+            && (line.code.contains("#[cfg(test)]")
+                || line.code.contains("#[cfg(all(test")
+                || line.code.contains("#[test]"))
+        {
+            pending = true;
+            in_test = true;
+        }
+        // A pending attribute marks this line even if the gated item
+        // ends here (`#[cfg(test)] use …;` clears `pending` at the `;`).
+        let was_pending = pending;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending && region_close.is_none() {
+                        region_close = Some(depth);
+                        pending = false;
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_close == Some(depth) {
+                        region_close = None;
+                        in_test = true;
+                    }
+                }
+                ';' if pending && region_close.is_none() => pending = false,
+                _ => {}
+            }
+        }
+        line.in_test = in_test || was_pending || pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_split_out() {
+        let lines = lex("let x = 1; // trailing note\n// full line\nlet y = 2;");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert_eq!(lines[0].comment, " trailing note");
+        assert!(!lines[1].has_code());
+        assert_eq!(lines[1].comment, " full line");
+        assert!(lines[2].has_code());
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = lex(r#"let s = "unsafe { HashMap }"; s.unwrap();"#);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lines = lex(r#"let s = "a \" unsafe"; let t = 1;"#);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let src = "let s = r#\"line one unsafe\nline two HashMap\"#;\nlet x = 1;";
+        let codes = code_of(src);
+        assert!(!codes[0].contains("unsafe"));
+        assert!(!codes[1].contains("HashMap"));
+        assert!(codes[2].contains("let x"));
+    }
+
+    #[test]
+    fn plain_strings_span_lines() {
+        let src = "let s = \"first unsafe\nsecond HashMap\";\nlet x = 1;";
+        let codes = code_of(src);
+        assert!(!codes[0].contains("unsafe"));
+        assert!(!codes[1].contains("HashMap"));
+        assert!(codes[2].contains("let x"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a(); /* one /* two\nstill comment unsafe */ still */ b();";
+        let lines = lex(src);
+        assert_eq!(lines[0].code.trim_end(), "a();");
+        assert!(lines[1].comment.contains("still comment unsafe"));
+        assert!(lines[1].code.contains("b();"));
+    }
+
+    #[test]
+    fn doc_comments_are_comment_text() {
+        let lines = lex("/// calls .unwrap() on success\nfn f() {}");
+        assert!(!lines[0].has_code());
+        assert!(lines[0].comment.contains(".unwrap()"));
+        assert!(lines[1].has_code());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = lex("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'y'; // 'q");
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(!lines[0].code.contains('y'), "char contents blanked");
+        assert_eq!(lines[0].comment, " 'q");
+    }
+
+    #[test]
+    fn escaped_char_literals_close() {
+        let lines = lex(r"let c = '\u{1F600}'; let d = '\''; real();");
+        assert!(lines[0].code.contains("real();"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}";
+        let lines = lex(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test, "the attribute line itself");
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test, "closing brace line");
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn test_attribute_gates_one_fn() {
+        let src = "#[test]\nfn t() {\n    boom.unwrap();\n}\nfn live() {}";
+        let lines = lex(src);
+        assert!(lines[2].in_test);
+        assert!(!lines[4].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let lines = lex(src);
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn cfg_test_in_string_is_ignored() {
+        let src = "let s = \"#[cfg(test)]\";\nfn live() { x }";
+        let lines = lex(src);
+        assert!(!lines[1].in_test);
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let lines = lex(r#"w.write(b"unsafe").unwrap();"#);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn identifier_tail_r_is_not_raw_prefix() {
+        let lines = lex(r#"let var = 1; let b = var"; ok();"#);
+        // `var"` — the quote after the identifier opens a plain string;
+        // the `r` in `var` must not be taken as a raw-string prefix.
+        assert!(lines[0].code.contains("let b = var\""));
+    }
+}

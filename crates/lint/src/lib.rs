@@ -1,0 +1,241 @@
+//! `lisa-lint` — static analysis for the invariants the LISA workspace
+//! is built on.
+//!
+//! Everything downstream of the mapper assumes mapping is a *pure,
+//! reproducible function*: the deterministic parallel portfolio, the
+//! byte-identical training resume, and the content-addressed
+//! `lisa-serve` cache are all unsound the moment a `HashMap` iteration
+//! order, a wall-clock read, or an ambient RNG call leaks into an
+//! output. This crate walks the workspace source with a
+//! comment/string/`#[cfg(test)]`-aware line lexer ([`lexer`]) and
+//! enforces a repo-specific rule catalog ([`rules`]), configured per
+//! path in `lint.toml` ([`config`]) and waivable inline with a
+//! mandatory reason. `scripts/verify.sh` runs the binary as a tier-1
+//! gate: any unwaived finding fails the build.
+//!
+//! Like `lisa-rng` and `lisa-bench`, the crate is hermetic — zero
+//! registry dependencies — so the gate works offline from a clean
+//! checkout.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError};
+pub use rules::{check_file, Finding, RuleId, CATALOG};
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The result of linting a file set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Outcome {
+    /// All findings, ordered by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// Whether the gate passes.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints one in-memory file against the rules `config` assigns to its
+/// path. Exposed for fixture tests; [`lint_root`] is the directory
+/// walker built on it.
+pub fn lint_text(config: &Config, rel_path: &str, source: &str) -> Vec<Finding> {
+    let lines = lexer::lex(source);
+    check_file(rel_path, &lines, &config.rules_for(rel_path))
+}
+
+/// Walks `config.roots` under `root` and lints every `.rs` file not
+/// excluded. Files are visited in sorted path order, so reports (and
+/// their JSON diffs across PRs) are deterministic.
+///
+/// # Errors
+///
+/// Propagates filesystem failures; an unreadable source file is an
+/// error, not a skip (a gate that skips what it cannot read is no gate).
+pub fn lint_root(root: &Path, config: &Config) -> io::Result<Outcome> {
+    let mut files = Vec::new();
+    for r in &config.roots {
+        collect_rs_files(root, &root.join(r), config, &mut files)?;
+    }
+    files.sort();
+    let mut outcome = Outcome::default();
+    for rel in files {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel_unix(&rel);
+        outcome
+            .findings
+            .extend(lint_text(config, &rel_str, &source));
+        outcome.files_scanned += 1;
+    }
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(outcome)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<PathBuf>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let rel_str = rel_unix(&rel);
+        if config.excluded(&rel_str) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, config, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Root-relative path with `/` separators (stable across platforms, so
+/// findings and waiver paths in `lint.toml` are portable).
+fn rel_unix(path: &Path) -> String {
+    path.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Human-readable report: one `file:line: RULE message` block per
+/// finding, with the fix hint, ending in a summary line.
+pub fn render_text(outcome: &Outcome) -> String {
+    let mut out = String::new();
+    for f in &outcome.findings {
+        let _ = writeln!(
+            out,
+            "{}:{}: {} {}\n    hint: {}",
+            f.file,
+            f.line,
+            f.rule.as_str(),
+            f.message,
+            f.rule.hint()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "lisa-lint: {} finding(s) in {} file(s)",
+        outcome.findings.len(),
+        outcome.files_scanned
+    );
+    out
+}
+
+/// Machine-readable report (`lisa-lint v1` JSON): findings can be
+/// diffed across PRs like the bench JSON artifacts.
+pub fn render_json(outcome: &Outcome) -> String {
+    let mut out = String::from("{\n  \"lisa-lint\": \"v1\",\n  \"findings\": [");
+    for (i, f) in outcome.findings.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"hint\": {}}}",
+            json_string(&f.file),
+            f.line,
+            json_string(f.rule.as_str()),
+            json_string(&f.message),
+            json_string(f.rule.hint())
+        );
+    }
+    if !outcome.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(
+        out,
+        "],\n  \"files_scanned\": {},\n  \"findings_total\": {}\n}}\n",
+        outcome.files_scanned,
+        outcome.findings.len()
+    );
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config_all(path_prefix: &str) -> Config {
+        let mut c = Config {
+            roots: vec!["src".to_string()],
+            ..Config::default()
+        };
+        for rule in CATALOG {
+            c.rule_paths.insert(rule, vec![path_prefix.to_string()]);
+        }
+        c
+    }
+
+    #[test]
+    fn lint_text_applies_only_configured_rules() {
+        let src = "use std::collections::HashMap;\n";
+        let all = config_all("src/");
+        assert_eq!(lint_text(&all, "src/a.rs", src).len(), 1);
+        assert!(lint_text(&all, "other/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_escaped() {
+        let outcome = Outcome {
+            findings: vec![Finding {
+                file: "a\"b.rs".to_string(),
+                line: 3,
+                rule: RuleId::Det001,
+                message: "uses `HashMap`".to_string(),
+            }],
+            files_scanned: 2,
+        };
+        let json = render_json(&outcome);
+        assert!(json.contains("\"lisa-lint\": \"v1\""));
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("\"findings_total\": 1"));
+        // Balanced braces/brackets (cheap well-formedness probe).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_outcome_renders_cleanly() {
+        let outcome = Outcome::default();
+        assert!(render_text(&outcome).contains("0 finding(s)"));
+        assert!(render_json(&outcome).contains("\"findings\": [],"));
+    }
+}

@@ -1,0 +1,105 @@
+//! The `lisa-lint` binary — the tier-1 static-analysis gate.
+//!
+//! ```text
+//! lisa-lint [--root DIR] [--config FILE] [--json] [FILE...]
+//! ```
+//!
+//! With no file arguments, walks the `[scan] roots` of `lint.toml`
+//! (resolved relative to `--root`, default the current directory) and
+//! exits nonzero when any unwaived finding exists — `scripts/verify.sh`
+//! runs exactly that between `cargo fmt --check` and the test tier.
+//! Explicit file arguments restrict the scan to those files (still
+//! rule-scoped by their paths). `--json` emits the `lisa-lint v1`
+//! document instead of text, so findings can be diffed across PRs like
+//! the bench JSON.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lisa_lint::{config, lint_root, lint_text, render_json, render_text, Outcome};
+
+struct Args {
+    root: PathBuf,
+    config: PathBuf,
+    json: bool,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: PathBuf::from("lint.toml"),
+        json: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = it.next().ok_or("--root needs a value")?.into(),
+            "--config" => args.config = it.next().ok_or("--config needs a value")?.into(),
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: lisa-lint [--root DIR] [--config FILE] [--json] [FILE...]".to_string(),
+                )
+            }
+            f if !f.starts_with('-') => args.files.push(f.to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<Outcome, String> {
+    let config_path = if args.config.is_absolute() {
+        args.config.clone()
+    } else {
+        args.root.join(&args.config)
+    };
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+    let config = config::parse(&text).map_err(|e| e.to_string())?;
+    if args.files.is_empty() {
+        return lint_root(&args.root, &config).map_err(|e| format!("scanning: {e}"));
+    }
+    let mut outcome = Outcome::default();
+    for file in &args.files {
+        let source = std::fs::read_to_string(args.root.join(file))
+            .map_err(|e| format!("reading {file}: {e}"))?;
+        let rel = file.trim_start_matches("./");
+        outcome.findings.extend(lint_text(&config, rel, &source));
+        outcome.files_scanned += 1;
+    }
+    Ok(outcome)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(outcome) => {
+            print!(
+                "{}",
+                if args.json {
+                    render_json(&outcome)
+                } else {
+                    render_text(&outcome)
+                }
+            );
+            if outcome.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("lisa-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

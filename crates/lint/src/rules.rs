@@ -1,0 +1,500 @@
+//! The rule catalog and the per-file checker.
+//!
+//! Each rule protects a system invariant documented in DESIGN.md
+//! ("Static invariant catalog"): cache-key soundness, byte-identical
+//! resume, daemon availability. Rules operate on the code projection of
+//! non-test lines ([`crate::lexer`]), so strings, comments, and
+//! `#[cfg(test)]` modules never produce findings.
+//!
+//! Findings are waivable inline:
+//!
+//! ```text
+//! // lisa-lint: allow(DET001) membership-only set; iteration never runs
+//! ```
+//!
+//! A waiver covers its own line and, when it is a comment-only line, the
+//! next code line (consecutive waiver lines stack). The reason text is
+//! mandatory — a bare `allow(RULE)` is itself a finding (`LINT001`), as
+//! is a waiver naming an unknown rule. Waivers that never match a
+//! finding are reported too: a stale waiver hides nothing but rots into
+//! false documentation.
+
+use crate::lexer::LexedLine;
+
+/// Identifier of one rule in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// No `HashMap`/`HashSet` in determinism-critical crates.
+    Det001,
+    /// No wall-clock reads in code feeding cache-keyed bodies or
+    /// serialized artifacts.
+    Det002,
+    /// No ambient randomness; RNG flows from a seeded `lisa_rng` handle.
+    Det003,
+    /// Every `unsafe` block or fn carries a `// SAFETY:` justification.
+    Safe001,
+    /// No panic paths (`unwrap`/`expect`/`panic!`/`todo!`) in
+    /// daemon-request and pipeline-resume code.
+    Panic001,
+    /// `lisa-events` observer callbacks must not mutate
+    /// trajectory-affecting state.
+    Evt001,
+    /// Meta-rule: malformed or unused waiver comments.
+    Lint001,
+}
+
+/// Every real (waivable, configurable) rule. `LINT001` is excluded: it
+/// polices the waiver mechanism itself and always applies.
+pub const CATALOG: [RuleId; 6] = [
+    RuleId::Det001,
+    RuleId::Det002,
+    RuleId::Det003,
+    RuleId::Safe001,
+    RuleId::Panic001,
+    RuleId::Evt001,
+];
+
+impl RuleId {
+    /// The stable rule name used in config, waivers, and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::Det001 => "DET001",
+            RuleId::Det002 => "DET002",
+            RuleId::Det003 => "DET003",
+            RuleId::Safe001 => "SAFE001",
+            RuleId::Panic001 => "PANIC001",
+            RuleId::Evt001 => "EVT001",
+            RuleId::Lint001 => "LINT001",
+        }
+    }
+
+    /// Parses a rule name (as written in config or a waiver).
+    pub fn parse(name: &str) -> Option<RuleId> {
+        match name {
+            "DET001" => Some(RuleId::Det001),
+            "DET002" => Some(RuleId::Det002),
+            "DET003" => Some(RuleId::Det003),
+            "SAFE001" => Some(RuleId::Safe001),
+            "PANIC001" => Some(RuleId::Panic001),
+            "EVT001" => Some(RuleId::Evt001),
+            "LINT001" => Some(RuleId::Lint001),
+            _ => None,
+        }
+    }
+
+    /// The fix hint printed with each finding.
+    pub fn hint(self) -> &'static str {
+        match self {
+            RuleId::Det001 => {
+                "use BTreeMap/BTreeSet or a sorted Vec; if iteration provably \
+                 never reaches output, waive with the proof as the reason"
+            }
+            RuleId::Det002 => {
+                "response bodies and artifacts must be wall-clock-free; move \
+                 timing into lisa-events telemetry"
+            }
+            RuleId::Det003 => "take a seeded lisa_rng::Rng handle from the caller",
+            RuleId::Safe001 => {
+                "state the preconditions (bounds, alignment, CPU-feature gate) \
+                 in a `// SAFETY:` comment immediately above"
+            }
+            RuleId::Panic001 => {
+                "return a typed error (ServeError/PipelineError) instead; the \
+                 daemon answers `status error`, it does not die"
+            }
+            RuleId::Evt001 => {
+                "observers are read-only taps; route state changes through the \
+                 owning stage, not the callback"
+            }
+            RuleId::Lint001 => "write `// lisa-lint: allow(RULE) <reason>` with a non-empty reason",
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Root-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// What was found, with the offending token.
+    pub message: String,
+}
+
+/// A parsed `// lisa-lint: allow(...)` comment.
+#[derive(Debug)]
+struct Waiver {
+    line: usize,
+    /// `None` for an unparseable rule name.
+    rule: Option<RuleId>,
+    reason_given: bool,
+    /// Whether the waiver line has code of its own (trailing comment) —
+    /// then it covers only that line, not the next.
+    trailing: bool,
+    used: bool,
+}
+
+const WAIVER_MARKER: &str = "lisa-lint: allow(";
+
+/// Checks one lexed file against the rules configured for it.
+pub fn check_file(rel_path: &str, lines: &[LexedLine], rules: &[RuleId]) -> Vec<Finding> {
+    let mut waivers = collect_waivers(lines);
+    let mut findings = Vec::new();
+
+    let observer_lines = observer_impl_lines(lines);
+    for line in lines.iter().filter(|l| !l.in_test) {
+        for &rule in rules {
+            for message in match_rule(rule, line, &observer_lines) {
+                // SAFE001's escape hatch is the SAFETY comment itself
+                // (same line, or the contiguous comment/attribute run
+                // above), not a waiver.
+                if rule == RuleId::Safe001
+                    && (line.comment.contains("SAFETY:")
+                        || has_safety_comment_above(lines, line.number))
+                {
+                    continue;
+                }
+                if let Some(w) = waiver_for(&mut waivers, lines, line.number, rule) {
+                    w.used = true;
+                    continue;
+                }
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line.number,
+                    rule,
+                    message,
+                });
+            }
+        }
+    }
+
+    // The waiver mechanism polices itself: missing reasons, unknown rule
+    // names, and waivers that matched nothing are all findings.
+    for w in &waivers {
+        let message = match w.rule {
+            None => "waiver names an unknown rule".to_string(),
+            Some(rule) if !w.reason_given => {
+                format!("waiver for {} is missing its reason", rule.as_str())
+            }
+            Some(rule) if !w.used => {
+                format!("waiver for {} matched no finding (stale?)", rule.as_str())
+            }
+            Some(_) => continue,
+        };
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: w.line,
+            rule: RuleId::Lint001,
+            message,
+        });
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Pattern checks for one rule against one line; returns the finding
+/// messages (usually zero or one).
+fn match_rule(rule: RuleId, line: &LexedLine, observer_lines: &[usize]) -> Vec<String> {
+    let code = line.code.as_str();
+    let mut out = Vec::new();
+    match rule {
+        RuleId::Det001 => {
+            for ident in ["HashMap", "HashSet"] {
+                if contains_word(code, ident) {
+                    out.push(format!(
+                        "`{ident}` in a determinism-critical crate: iteration \
+                         order is seeded per process and can leak into output"
+                    ));
+                }
+            }
+        }
+        RuleId::Det002 => {
+            for pat in ["SystemTime::now", "Instant::now", "UNIX_EPOCH"] {
+                if code.contains(pat) {
+                    out.push(format!(
+                        "`{pat}` in code that feeds cache-keyed response bodies \
+                         or serialized artifacts"
+                    ));
+                }
+            }
+        }
+        RuleId::Det003 => {
+            for pat in ["thread_rng", "from_entropy", "RandomState", "rand::"] {
+                if code.contains(pat) {
+                    out.push(format!(
+                        "`{pat}`: ambient randomness breaks byte-identical reruns"
+                    ));
+                }
+            }
+        }
+        RuleId::Safe001 => {
+            if contains_word(code, "unsafe") {
+                out.push(
+                    "`unsafe` without a `// SAFETY:` comment on the preceding \
+                     lines"
+                        .to_string(),
+                );
+            }
+        }
+        RuleId::Panic001 => {
+            for pat in [".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"] {
+                if code.contains(pat) {
+                    out.push(format!(
+                        "`{pat}` on a no-panic path: a panic here kills the \
+                         daemon or tears a resume"
+                    ));
+                }
+            }
+        }
+        RuleId::Evt001 => {
+            if observer_lines.contains(&line.number) {
+                for pat in [
+                    "begin_txn",
+                    ".commit(",
+                    ".rollback(",
+                    ".anneal(",
+                    ".train(",
+                    "map_request(",
+                    ".emit(",
+                ] {
+                    if code.contains(pat) {
+                        out.push(format!(
+                            "`{pat}` inside an `impl Observer` callback: \
+                             observers must not steer the trajectory"
+                        ));
+                    }
+                }
+            }
+        }
+        RuleId::Lint001 => {}
+    }
+    out
+}
+
+/// Whether a `SAFETY:` comment (or a `# Safety` doc section) appears on
+/// the contiguous run of comment/attribute lines directly above
+/// `number`.
+fn has_safety_comment_above(lines: &[LexedLine], number: usize) -> bool {
+    // `number` is 1-based; scan upward from the line above it.
+    let mut idx = number - 1;
+    while idx > 0 {
+        idx -= 1;
+        let l = &lines[idx];
+        let comment_only = !l.has_code();
+        let attribute = l.is_attribute_only();
+        if !comment_only && !attribute {
+            return false;
+        }
+        if l.comment.contains("SAFETY:") || l.comment.contains("# Safety") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lines (1-based) that sit inside an `impl … Observer for …` block.
+fn observer_impl_lines(lines: &[LexedLine]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut region_close: Option<i64> = None;
+    for line in lines {
+        if region_close.is_none()
+            && line.code.contains("impl")
+            && line.code.contains("Observer for")
+        {
+            pending = true;
+        }
+        let mut inside = region_close.is_some();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending && region_close.is_none() {
+                        region_close = Some(depth);
+                        pending = false;
+                        inside = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_close == Some(depth) {
+                        region_close = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if inside {
+            out.push(line.number);
+        }
+    }
+    out
+}
+
+/// Collects every waiver comment in the file.
+fn collect_waivers(lines: &[LexedLine]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for line in lines {
+        if line.doc {
+            continue;
+        }
+        let Some(pos) = line.comment.find(WAIVER_MARKER) else {
+            continue;
+        };
+        let rest = &line.comment[pos + WAIVER_MARKER.len()..];
+        let (rule, reason_given) = match rest.split_once(')') {
+            Some((name, reason)) => (RuleId::parse(name.trim()), !reason.trim().is_empty()),
+            None => (None, false),
+        };
+        out.push(Waiver {
+            line: line.number,
+            rule,
+            reason_given,
+            trailing: line.has_code(),
+            used: false,
+        });
+    }
+    out
+}
+
+/// The waiver covering (`number`, `rule`), if any: either a trailing
+/// waiver on the line itself, or a comment-line waiver on the contiguous
+/// run of comment-only lines directly above.
+fn waiver_for<'w>(
+    waivers: &'w mut [Waiver],
+    lines: &[LexedLine],
+    number: usize,
+    rule: RuleId,
+) -> Option<&'w mut Waiver> {
+    // The contiguous run of comment-only waiver lines above `number`.
+    let mut lo = number;
+    while lo > 1 {
+        let above = &lines[lo - 2];
+        if above.has_code() || above.doc || !above.comment.contains(WAIVER_MARKER) {
+            break;
+        }
+        lo -= 1;
+    }
+    waivers.iter_mut().find(|w| {
+        w.rule == Some(rule)
+            && w.reason_given
+            && (w.line == number || (!w.trailing && (lo..number).contains(&w.line)))
+    })
+}
+
+/// Whole-word containment: `pat` not flanked by identifier characters.
+fn contains_word(code: &str, pat: &str) -> bool {
+    let mut start = 0;
+    while let Some(at) = code[start..].find(pat) {
+        let at = start + at;
+        let before = code[..at].chars().last();
+        let after = code[at + pat.len()..].chars().next();
+        let is_ident = |c: Option<char>| c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !is_ident(before) && !is_ident(after) {
+            return true;
+        }
+        start = at + pat.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str, rules: &[RuleId]) -> Vec<Finding> {
+        check_file("test.rs", &lex(src), rules)
+    }
+
+    #[test]
+    fn word_boundaries_protect_lookalikes() {
+        assert!(contains_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_word("struct MyHashMap;", "HashMap"));
+        assert!(!contains_word("HashMapLike", "HashMap"));
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_own_line_only() {
+        let src = "let m = HashMap::new(); // lisa-lint: allow(DET001) lookup only\nlet n = HashMap::new();";
+        let f = run(src, &[RuleId::Det001]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn comment_line_waivers_stack_over_the_next_code_line() {
+        let src = "// lisa-lint: allow(DET001) membership only\n// lisa-lint: allow(DET003) seeded upstream\nlet m = HashMap::with_hasher(rand::thing());";
+        let f = run(src, &[RuleId::Det001, RuleId::Det003]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_finding_and_does_not_waive() {
+        let src = "// lisa-lint: allow(DET001)\nlet m = HashMap::new();";
+        let f = run(src, &[RuleId::Det001]);
+        let rules: Vec<_> = f.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&RuleId::Det001), "{f:?}");
+        assert!(rules.contains(&RuleId::Lint001), "{f:?}");
+    }
+
+    #[test]
+    fn doc_comment_waiver_examples_are_inert() {
+        // A doc comment may show a verbatim waiver without creating one
+        // (or a stale-waiver finding).
+        let src = "/// // lisa-lint: allow(DET001) membership only\nlet m = HashMap::new();";
+        let f = run(src, &[RuleId::Det001]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::Det001);
+    }
+
+    #[test]
+    fn unknown_rule_waiver_is_a_finding() {
+        let f = run("// lisa-lint: allow(BOGUS) why\nlet x = 1;", &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::Lint001);
+    }
+
+    #[test]
+    fn stale_waiver_is_a_finding() {
+        let f = run("// lisa-lint: allow(DET001) nothing here\nlet x = 1;", &[]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("stale"), "{f:?}");
+    }
+
+    #[test]
+    fn safety_comment_suppresses_safe001_across_attributes() {
+        let ok = "/// # Safety\n/// caller checked avx2\n#[target_feature(enable = \"avx2\")]\nunsafe fn f() {}";
+        assert!(run(ok, &[RuleId::Safe001]).is_empty());
+        let ok2 = "// SAFETY: i < len checked above\nlet x = unsafe { *p.get_unchecked(i) };";
+        assert!(run(ok2, &[RuleId::Safe001]).is_empty());
+        let bad = "fn g() {}\nlet x = unsafe { *p.get_unchecked(i) };";
+        assert_eq!(run(bad, &[RuleId::Safe001]).len(), 1);
+    }
+
+    #[test]
+    fn panic_patterns_skip_unwrap_or_else() {
+        let src = "m.lock().unwrap_or_else(PoisonError::into_inner);\nm.lock().unwrap();";
+        let f = run(src, &[RuleId::Panic001]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn evt001_fires_only_inside_observer_impls() {
+        let src = "impl Observer for Tap {\n    fn event(&self, e: &E) {\n        self.sink.emit(e);\n    }\n}\nfn free() { sink.emit(x); }";
+        let f = run(src, &[RuleId::Evt001]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn t() { x.unwrap(); }\n}";
+        assert!(run(src, &[RuleId::Det001, RuleId::Panic001]).is_empty());
+    }
+}

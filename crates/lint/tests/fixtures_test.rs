@@ -1,0 +1,114 @@
+//! Every rule is pinned to a fixture seeded with known violations: the
+//! checker must report exactly those file:line pairs — no more (false
+//! positives in strings/comments/test modules) and no fewer (waivers
+//! must not over-suppress).
+
+use std::path::Path;
+
+use lisa_lint::{lint_text, Config, RuleId, CATALOG};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Findings for one fixture as (line, rule), with the file name checked.
+fn findings(name: &str, rules: &[RuleId]) -> Vec<(usize, RuleId)> {
+    let mut config = Config::default();
+    for &rule in rules {
+        config
+            .rule_paths
+            .insert(rule, vec!["fixtures/".to_string()]);
+    }
+    let rel = format!("fixtures/{name}");
+    lint_text(&config, &rel, &fixture(name))
+        .into_iter()
+        .map(|f| {
+            assert_eq!(f.file, rel);
+            (f.line, f.rule)
+        })
+        .collect()
+}
+
+#[test]
+fn every_rule_has_a_fixture() {
+    for rule in CATALOG {
+        let name = format!("{}.rs", rule.as_str().to_lowercase());
+        assert!(
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("fixtures")
+                .join(&name)
+                .is_file(),
+            "missing fixture {name}"
+        );
+    }
+}
+
+#[test]
+fn det001_reports_exact_lines() {
+    use RuleId::Det001;
+    assert_eq!(
+        findings("det001.rs", &[Det001]),
+        [(5, Det001), (6, Det001), (9, Det001), (10, Det001)]
+    );
+}
+
+#[test]
+fn det002_reports_exact_lines() {
+    use RuleId::Det002;
+    assert_eq!(
+        findings("det002.rs", &[Det002]),
+        [(5, Det002), (6, Det002), (9, Det002)]
+    );
+}
+
+#[test]
+fn det003_reports_exact_lines() {
+    use RuleId::Det003;
+    // Line 5 fires twice: `rand::` and `thread_rng` are distinct signals.
+    assert_eq!(
+        findings("det003.rs", &[Det003]),
+        [(5, Det003), (5, Det003), (6, Det003)]
+    );
+}
+
+#[test]
+fn safe001_reports_exact_lines() {
+    use RuleId::Safe001;
+    // One bare `unsafe`; the `// SAFETY:` and `# Safety` sites pass.
+    assert_eq!(findings("safe001.rs", &[Safe001]), [(5, Safe001)]);
+}
+
+#[test]
+fn panic001_reports_exact_lines() {
+    use RuleId::Panic001;
+    // `unwrap_or_else(PoisonError::into_inner)` on line 14 must not fire.
+    assert_eq!(
+        findings("panic001.rs", &[Panic001]),
+        [(5, Panic001), (6, Panic001), (8, Panic001)]
+    );
+}
+
+#[test]
+fn evt001_reports_exact_lines() {
+    use RuleId::Evt001;
+    // Only the unwaived observer-impl lines; the same calls outside an
+    // `impl … Observer for` block are clean.
+    assert_eq!(
+        findings("evt001.rs", &[Evt001]),
+        [(10, Evt001), (11, Evt001)]
+    );
+}
+
+#[test]
+fn lint001_polices_waivers() {
+    use RuleId::{Lint001, Panic001};
+    // Stale (5), unknown rule (11), missing reason (17) — and the
+    // reason-less waiver does NOT suppress the violation it sits on (18).
+    assert_eq!(
+        findings("lint001.rs", &[Panic001]),
+        [(5, Lint001), (11, Lint001), (17, Lint001), (18, Panic001)]
+    );
+}

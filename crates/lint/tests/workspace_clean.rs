@@ -1,0 +1,23 @@
+//! Meta-test: the committed workspace lints clean under the committed
+//! `lint.toml`. This is the same scan `scripts/verify.sh` gates on, so
+//! a violation fails `cargo test` even before the gate runs.
+
+use std::path::Path;
+
+use lisa_lint::{config, lint_root, render_text};
+
+#[test]
+fn workspace_is_clean_under_the_committed_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml is committed");
+    let config = config::parse(&text).expect("lint.toml parses");
+    let outcome = lint_root(&root, &config).expect("workspace scan");
+    assert!(outcome.clean(), "\n{}", render_text(&outcome));
+    // Sanity: the scan really covered the workspace (a misconfigured
+    // root that scans nothing would pass vacuously).
+    assert!(
+        outcome.files_scanned > 50,
+        "only {} files scanned — lint.toml roots look wrong",
+        outcome.files_scanned
+    );
+}

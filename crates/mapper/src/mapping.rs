@@ -574,7 +574,9 @@ impl<'a> Mapping<'a> {
             .iter()
             .filter(|c| matches!(c, Cell::Op(_)))
             .count();
-        let mut seen = std::collections::HashSet::new();
+        // Ordered set (DET001): membership-only here, but the cold
+        // reporting paths carry no reason to depend on hash seeding.
+        let mut seen = std::collections::BTreeSet::new();
         for route in self.routes.iter().flatten() {
             for s in route {
                 let idx = self.mrrg.index_at(s.resource, s.time);
@@ -643,8 +645,10 @@ impl<'a> Mapping<'a> {
         if self.txn || !self.journal.is_empty() {
             return Err("verify called with an open transaction".to_string());
         }
-        // Placement capability + uniqueness.
-        let mut fu_owner = std::collections::HashMap::new();
+        // Placement capability + uniqueness. Ordered map (DET001): only
+        // keyed lookups run here, but `verify` reports the *first*
+        // violation and must do so identically across processes.
+        let mut fu_owner = std::collections::BTreeMap::new();
         for n in self.dfg.node_ids() {
             let Some(p) = self.placements[n.index()] else {
                 continue;
@@ -1071,7 +1075,8 @@ impl Mapping<'_> {
                 busy_fu[p.pe.index()] += 1;
             }
         }
-        let mut seen = std::collections::HashSet::new();
+        // Ordered set (DET001): utilisation feeds rendered reports.
+        let mut seen = std::collections::BTreeSet::new();
         for route in self.dfg.edge_ids() {
             let Some(steps) = self.route(route) else {
                 continue;

@@ -19,6 +19,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use crate::lock_unpoisoned;
+
 use crate::protocol::RESPONSE_HEADER;
 
 /// Which tier answered a probe.
@@ -98,7 +100,7 @@ impl ResultCache {
 
     /// Probes both tiers. A disk hit is promoted to memory.
     pub fn get(&self, key: u64) -> Option<(Arc<String>, CacheTier)> {
-        if let Some(body) = self.memory.lock().expect("cache lock").get(key) {
+        if let Some(body) = lock_unpoisoned(&self.memory).get(key) {
             return Some((body, CacheTier::Memory));
         }
         let dir = self.disk.as_deref()?;
@@ -113,10 +115,7 @@ impl ResultCache {
             return None;
         }
         let body = Arc::new(body);
-        self.memory
-            .lock()
-            .expect("cache lock")
-            .put(key, body.clone());
+        lock_unpoisoned(&self.memory).put(key, body.clone());
         Some((body, CacheTier::Disk))
     }
 
@@ -127,10 +126,7 @@ impl ResultCache {
     ///
     /// Propagates disk-tier write failures (the memory tier cannot fail).
     pub fn put(&self, key: u64, body: Arc<String>) -> io::Result<()> {
-        self.memory
-            .lock()
-            .expect("cache lock")
-            .put(key, body.clone());
+        lock_unpoisoned(&self.memory).put(key, body.clone());
         if let Some(dir) = &self.disk {
             let target = entry_path(dir, key);
             let tmp = target.with_extension("tmp");
@@ -147,7 +143,7 @@ impl ResultCache {
 
     /// Number of entries resident in the memory tier.
     pub fn memory_len(&self) -> usize {
-        self.memory.lock().expect("cache lock").entries.len()
+        lock_unpoisoned(&self.memory).entries.len()
     }
 }
 

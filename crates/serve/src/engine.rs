@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 use lisa_arch::Accelerator;
@@ -26,6 +26,8 @@ use lisa_core::{MapRequest, ModelRegistry};
 use lisa_events::{EventSink, PipelineEvent};
 
 use crate::cache::{CacheTier, ResultCache};
+use crate::error::ServeError;
+use crate::lock_unpoisoned;
 use crate::protocol::{render_error, render_ok, render_overloaded, render_unmappable};
 
 /// Daemon sizing knobs.
@@ -152,7 +154,7 @@ impl Gate {
     /// Blocks until a permit is free, or fails fast when the wait queue
     /// is already full.
     fn acquire(&self) -> Result<(), Overloaded> {
-        let mut s = self.state.lock().expect("gate lock");
+        let mut s = lock_unpoisoned(&self.state);
         if s.active < self.max_active {
             s.active += 1;
             return Ok(());
@@ -162,7 +164,7 @@ impl Gate {
         }
         s.waiting += 1;
         loop {
-            s = self.cv.wait(s).expect("gate lock");
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
             if s.active < self.max_active {
                 s.active += 1;
                 s.waiting -= 1;
@@ -172,14 +174,14 @@ impl Gate {
     }
 
     fn release(&self) {
-        let mut s = self.state.lock().expect("gate lock");
+        let mut s = lock_unpoisoned(&self.state);
         s.active -= 1;
         drop(s);
         self.cv.notify_one();
     }
 
     fn waiting(&self) -> usize {
-        self.state.lock().expect("gate lock").waiting
+        lock_unpoisoned(&self.state).waiting
     }
 }
 
@@ -242,7 +244,8 @@ impl ServeEngine {
         let req = match MapRequest::parse(text) {
             Ok(req) => req,
             Err(e) => {
-                let body = Arc::new(render_error(&format!("bad request: {e}")));
+                let err = ServeError::BadRequest(e.to_string());
+                let body = Arc::new(render_error(&err.to_string()));
                 return self.respond(id, started, body, Disposition::Error);
             }
         };
@@ -269,7 +272,7 @@ impl ServeEngine {
         // Single-flight: one leader per key; everyone else waits for its
         // shared result.
         let (flight, leader) = {
-            let mut map = self.inflight.lock().expect("inflight lock");
+            let mut map = lock_unpoisoned(&self.inflight);
             match map.get(&key) {
                 Some(flight) => (flight.clone(), false),
                 None => {
@@ -280,11 +283,13 @@ impl ServeEngine {
             }
         };
         if !leader {
-            let mut done = flight.done.lock().expect("flight lock");
-            while done.is_none() {
-                done = flight.cv.wait(done).expect("flight lock");
-            }
-            let body = done.clone().expect("flight filled before notify");
+            let mut done = lock_unpoisoned(&flight.done);
+            let body = loop {
+                if let Some(body) = done.as_ref() {
+                    break body.clone();
+                }
+                done = flight.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+            };
             return self.respond(id, started, body, Disposition::Coalesced);
         }
 
@@ -296,45 +301,43 @@ impl ServeEngine {
                 self.counters.anneals.fetch_add(1, Ordering::Relaxed);
                 let computed = std::panic::catch_unwind(AssertUnwindSafe(|| self.compute(&req)));
                 self.gate.release();
-                match computed {
-                    Ok((body, disposition)) => {
+                match computed.unwrap_or(Err(ServeError::MappingPanicked)) {
+                    Ok(body) => {
                         let body = Arc::new(body);
-                        if disposition == Disposition::Computed {
-                            // A failed disk write only costs a future
-                            // recompute; the response already exists.
-                            let _ = self.cache.put(key, body.clone());
-                        }
-                        (body, disposition)
+                        // A failed disk write only costs a future
+                        // recompute; the response already exists.
+                        let _ = self.cache.put(key, body.clone());
+                        (body, Disposition::Computed)
                     }
-                    Err(_) => (
-                        Arc::new(render_error("internal error: mapping panicked")),
-                        Disposition::Error,
-                    ),
+                    // Errors are never cached: a model loaded later (or
+                    // a fixed bug) must not be shadowed by a cached
+                    // failure.
+                    Err(e) => (Arc::new(render_error(&e.to_string())), Disposition::Error),
                 }
             }
         };
 
         // Publish to followers before answering, then retire the flight.
-        *flight.done.lock().expect("flight lock") = Some(body.clone());
+        *lock_unpoisoned(&flight.done) = Some(body.clone());
         flight.cv.notify_all();
-        self.inflight.lock().expect("inflight lock").remove(&key);
+        lock_unpoisoned(&self.inflight).remove(&key);
         self.respond(id, started, body, disposition)
     }
 
     /// The miss path: resolve accelerator and model, run the annealer.
-    fn compute(&self, req: &MapRequest) -> (String, Disposition) {
-        let Some(acc) = Accelerator::standard(&req.accelerator) else {
-            return (
-                render_error(&format!("unknown accelerator `{}`", req.accelerator)),
-                Disposition::Error,
-            );
-        };
-        let Some(model) = self.registry.get(acc.name()) else {
-            return (
-                render_error(&format!("no model resident for `{}`", acc.name())),
-                Disposition::Error,
-            );
-        };
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ServeError`]s for an unknown accelerator, a missing
+    /// model, or an internally inconsistent outcome — the caller answers
+    /// `status error` and keeps serving.
+    fn compute(&self, req: &MapRequest) -> Result<String, ServeError> {
+        let acc = Accelerator::standard(&req.accelerator)
+            .ok_or_else(|| ServeError::UnknownAccelerator(req.accelerator.clone()))?;
+        let model = self
+            .registry
+            .get(acc.name())
+            .ok_or_else(|| ServeError::NoModel(acc.name().to_string()))?;
         let (outcome, mapping) = model.map_request(
             &req.dfg,
             &acc,
@@ -342,11 +345,10 @@ impl ServeEngine {
             req.max_ii,
             self.config.parallelism,
         );
-        let body = match &mapping {
+        match &mapping {
             Some(m) => render_ok(req, &outcome, m),
-            None => render_unmappable(req, &outcome),
-        };
-        (body, Disposition::Computed)
+            None => Ok(render_unmappable(req, &outcome)),
+        }
     }
 
     fn respond(

@@ -24,9 +24,26 @@
 
 pub mod cache;
 pub mod engine;
+pub mod error;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheTier, ResultCache};
 pub use engine::{Disposition, ServeConfig, ServeEngine, StatsSnapshot};
+pub use error::ServeError;
 pub use server::{serve_connection, serve_stdio, serve_tcp, Served};
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poisoning instead of panicking.
+///
+/// Every mutex in this crate guards state that is valid at all times —
+/// whole `Arc<String>` bodies, whole counters — and the critical
+/// sections never call back into code that can panic mid-update, so a
+/// poisoned lock means some *other* panic (already contained at the
+/// request boundary) happened to hold it. Propagating that poison as a
+/// second panic would kill the daemon; recovering serves sound data
+/// (PANIC001: the daemon answers, it does not die).
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -37,6 +37,8 @@ use std::io::{self, Read, Write};
 use lisa_core::MapRequest;
 use lisa_mapper::{display, Mapping, MappingOutcome};
 
+use crate::error::ServeError;
+
 /// Header line of every response document.
 pub const RESPONSE_HEADER: &str = "lisa-response v1";
 /// Header line of the `stats` answer.
@@ -86,12 +88,20 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
 }
 
 /// Renders a successful mapping response.
-pub fn render_ok(req: &MapRequest, outcome: &MappingOutcome, mapping: &Mapping<'_>) -> String {
+///
+/// # Errors
+///
+/// [`ServeError::MissingIi`] when the outcome carries no initiation
+/// interval — an internal inconsistency the caller turns into a
+/// `status error` frame instead of a panic (PANIC001).
+pub fn render_ok(
+    req: &MapRequest,
+    outcome: &MappingOutcome,
+    mapping: &Mapping<'_>,
+) -> Result<String, ServeError> {
+    let ii = outcome.ii.ok_or(ServeError::MissingIi)?;
     let mut out = header(req, "ok");
-    out.push_str(&format!(
-        "ii {}\n",
-        outcome.ii.expect("ok responses carry an II")
-    ));
+    out.push_str(&format!("ii {ii}\n"));
     out.push_str(&format!("routing_cells {}\n", outcome.routing_cells));
     out.push_str(&format!("ops {}\n", outcome.ops));
     out.push_str(&format!("attempts {}\n", outcome.attempts));
@@ -101,7 +111,7 @@ pub fn render_ok(req: &MapRequest, outcome: &MappingOutcome, mapping: &Mapping<'
         out.push('\n');
     }
     out.push_str("end mapping\n");
-    out
+    Ok(out)
 }
 
 /// Renders the response for a request whose II search exhausted the cap.

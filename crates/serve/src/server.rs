@@ -151,6 +151,37 @@ mod tests {
     }
 
     #[test]
+    fn garbage_frames_get_error_responses_and_the_daemon_keeps_serving() {
+        // The availability contract (PANIC001): a malformed frame — not
+        // even UTF-8, or UTF-8 that is not a request — answers `status
+        // error` and the same connection keeps being served.
+        let mut input = Vec::new();
+        write_frame(&mut input, &[0xff, 0xfe, 0x80, 0x00]).unwrap();
+        write_frame(&mut input, b"lisa-request v1\nbut torn").unwrap();
+        write_frame(&mut input, b"stats").unwrap();
+        let mut output = Vec::new();
+        let served = serve_stdio(&engine(), &mut io::Cursor::new(input), &mut output).unwrap();
+        assert_eq!(served, Served::Eof);
+
+        let mut frames = Vec::new();
+        let mut r = io::Cursor::new(output);
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            frames.push(String::from_utf8(f).unwrap());
+        }
+        assert_eq!(frames.len(), 3, "{frames:?}");
+        assert!(frames[0].contains("status error"), "{}", frames[0]);
+        assert!(frames[0].contains("not UTF-8"), "{}", frames[0]);
+        assert!(frames[1].contains("status error"), "{}", frames[1]);
+        assert!(
+            frames[2].starts_with(STATS_HEADER),
+            "the daemon still answers after garbage: {}",
+            frames[2]
+        );
+        // Both failures were counted as errors, not crashes.
+        assert!(frames[2].contains("errors 1"), "{}", frames[2]);
+    }
+
+    #[test]
     fn tcp_round_trip_and_shutdown() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();

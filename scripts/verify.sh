@@ -10,6 +10,15 @@ RUSTFLAGS="-D warnings ${RUSTFLAGS:-}"
 export RUSTFLAGS
 
 cargo fmt --check
+
+# Static invariant gate (DESIGN.md "Static invariant catalog"): any
+# unwaived determinism/unsafe/panic-path finding fails the tier. The
+# JSON report is kept as a diffable artifact next to the bench JSONs.
+cargo run -q --release --offline -p lisa-lint
+mkdir -p target/lint
+cargo run -q --release --offline -p lisa-lint -- --json >target/lint/lint.json
+echo "verify: lisa-lint clean"
+
 cargo build --release --offline
 cargo test -q --offline
 
