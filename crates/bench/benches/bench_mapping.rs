@@ -6,14 +6,21 @@
 //! movement and portfolio entries are cheap and run (once) even in smoke
 //! mode, so `scripts/verify.sh` can check the suite's JSON end to end.
 
+use std::sync::Arc;
+
 use lisa_arch::Accelerator;
 use lisa_bench::timing::Suite;
 use lisa_dfg::{polybench, Dfg, OpKind};
+use lisa_events::{EventSink, Observer};
+use lisa_gnn::TrainConfig;
+use lisa_labels::movement::{MovementPredictor, MovementRecorder};
 use lisa_mapper::exact::{ExactMapper, ExactParams};
 use lisa_mapper::greedy::{GreedyMapper, GreedyParams};
 use lisa_mapper::sa::{movement_throughput, MovementEngine};
 use lisa_mapper::schedule::IiSearch;
-use lisa_mapper::{GuidanceLabels, LabelSaMapper, PortfolioParams, SaMapper, SaParams};
+use lisa_mapper::{
+    anneal_chain, GuidanceLabels, LabelSaMapper, PortfolioParams, SaMapper, SaParams,
+};
 
 /// The paper's Fig. 4 DFG (A..J, dense region around B) — the running
 /// example, and small enough that a movement costs microseconds.
@@ -110,6 +117,57 @@ fn main() {
             std::hint::black_box(outcome);
         });
     }
+
+    // Predict-then-verify A/B: train a micro-predictor from one observed
+    // run (movement samples are a free by-product of an attached sink),
+    // then run the identical fixed-length annealing chain with the
+    // filter off and on. The router-invocation counters land in the JSON
+    // as metrics, so the reduction is machine-checkable from
+    // `target/bench`; the timing pair measures the wall-clock effect.
+    let recorder = Arc::new(MovementRecorder::new());
+    let mut observed = SaMapper::new(SaParams::fast(), 42)
+        .with_observer(EventSink::new(Arc::clone(&recorder) as Arc<dyn Observer>));
+    let _ = IiSearch { max_ii: Some(4) }.run(&mut observed, &fig4, &acc3);
+    let (predictor, _) = MovementPredictor::train(
+        &recorder.snapshot(),
+        &TrainConfig {
+            epochs: 40,
+            ..TrainConfig::fast()
+        },
+        7,
+    )
+    .expect("observed run yields training pairs");
+    let (_, off) = anneal_chain(&SaParams::fast(), &fig4, &acc3, 3, 42, None);
+    let (_, on) = anneal_chain(&SaParams::fast(), &fig4, &acc3, 3, 42, Some(&predictor));
+    suite.metric(
+        "filter/fig4_3x3/off_router_invocations",
+        off.router_invocations as f64,
+        "calls",
+    );
+    suite.metric(
+        "filter/fig4_3x3/on_router_invocations",
+        on.router_invocations as f64,
+        "calls",
+    );
+    suite.metric("filter/fig4_3x3/on_rejected", on.rejected as f64, "moves");
+    suite.metric(
+        "filter/fig4_3x3/on_false_rejects",
+        on.false_rejects as f64,
+        "moves",
+    );
+    suite.bench("filter/fig4_3x3/off", || {
+        std::hint::black_box(anneal_chain(&SaParams::fast(), &fig4, &acc3, 3, 42, None));
+    });
+    suite.bench("filter/fig4_3x3/on", || {
+        std::hint::black_box(anneal_chain(
+            &SaParams::fast(),
+            &fig4,
+            &acc3,
+            3,
+            42,
+            Some(&predictor),
+        ));
+    });
 
     // Portfolio: one full map_at_ii on Fig. 4 per iteration. chains=1 is
     // the historical single-chain annealer; chains=4 runs four seeds and

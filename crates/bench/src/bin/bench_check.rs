@@ -22,6 +22,8 @@ const REQUIRED_MAPPING: &[&str] = &[
     "e2e/doitgen_16x16/greedy",
     "movement/fig4_32x32/journal",
     "e2e/doitgen_32x32/greedy",
+    "filter/fig4_3x3/off",
+    "filter/fig4_3x3/on",
 ];
 
 /// Distance-index footprint metrics the mapping suite must emit for the
@@ -31,6 +33,10 @@ const REQUIRED_MAPPING_METRICS: &[&str] = &[
     "distance/16x16_dense_bytes",
     "distance/32x32_oracle_bytes",
     "distance/32x32_dense_bytes",
+    "filter/fig4_3x3/off_router_invocations",
+    "filter/fig4_3x3/on_router_invocations",
+    "filter/fig4_3x3/on_rejected",
+    "filter/fig4_3x3/on_false_rejects",
 ];
 
 /// GNN-suite entries every run must produce: inference throughput for

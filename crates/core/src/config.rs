@@ -37,6 +37,11 @@ pub struct LisaConfig {
     pub parallelism: usize,
     /// Master seed; all stages derive their seeds from it.
     pub seed: u64,
+    /// Path of a serialised movement predictor (`lisa-movement-predictor
+    /// v1`) to gate the annealer's router with; `None` maps exactly as
+    /// the pre-filter binary did. Loaded by
+    /// [`Lisa::load_movement_filter`](crate::Lisa::load_movement_filter).
+    pub predictor: Option<std::path::PathBuf>,
 }
 
 impl Default for LisaConfig {
@@ -51,6 +56,7 @@ impl Default for LisaConfig {
             sa: SaParams::paper(),
             parallelism: lisa_mapper::portfolio::available_parallelism(),
             seed: 2022,
+            predictor: None,
         }
     }
 }

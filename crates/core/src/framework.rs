@@ -7,15 +7,20 @@
 //! new DFG, [`Lisa::predict_labels`] derives the labels in milliseconds
 //! and [`Lisa::map`] runs the label-aware simulated annealing with them.
 
+use std::fmt;
+use std::sync::Arc;
+
 use lisa_arch::Accelerator;
 use lisa_dfg::Dfg;
+use lisa_events::EventSink;
 use lisa_gnn::metrics::{try_accuracy, LabelKind};
 use lisa_gnn::models::{EdgeMlp, ScheduleOrderNet, SpatialNet};
 use lisa_gnn::PlanScratch;
 use lisa_labels::attributes::{DUMMY_ATTR_DIM, EDGE_ATTR_DIM, NODE_ATTR_DIM};
+use lisa_labels::movement::MovementPredictor;
 use lisa_labels::TrainingSet;
 use lisa_mapper::schedule::IiSearch;
-use lisa_mapper::{GuidanceLabels, LabelSaMapper, Mapping, MappingOutcome};
+use lisa_mapper::{GuidanceLabels, LabelSaMapper, Mapping, MappingOutcome, MovementScorer};
 
 use crate::compiled::CompiledModel;
 use crate::pipeline::{Pipeline, TrainError};
@@ -52,6 +57,12 @@ pub struct Lisa {
     /// every label prediction this instance serves runs on these.
     compiled: CompiledModel,
     stats: TrainingStats,
+    /// Optional predict-then-verify movement filter, shared read-only by
+    /// every annealing chain this instance drives.
+    movement_filter: Option<Arc<dyn MovementScorer>>,
+    /// Observer for inference-time annealing events (movement samples,
+    /// filter summaries, SA snapshots). Null by default.
+    sink: EventSink,
 }
 
 impl Lisa {
@@ -96,7 +107,45 @@ impl Lisa {
             temporal_net,
             compiled,
             stats,
+            movement_filter: None,
+            sink: EventSink::null(),
         }
+    }
+
+    /// Attaches a predict-then-verify movement filter; every subsequent
+    /// mapping call gates its router with it (all portfolio chains share
+    /// the one immutable scorer). Quality remains exact-by-construction:
+    /// the filter only skips routing of rejected proposals, every
+    /// accepted state is priced by the exact incremental cost.
+    pub fn with_movement_filter(mut self, filter: Arc<dyn MovementScorer>) -> Lisa {
+        self.movement_filter = Some(filter);
+        self
+    }
+
+    /// Loads and attaches the movement predictor named by
+    /// [`LisaConfig::predictor`], if any. Returns whether a filter is
+    /// attached afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be read or is not a valid
+    /// `lisa-movement-predictor v1` document; the instance is unchanged
+    /// on error.
+    pub fn load_movement_filter(&mut self) -> Result<bool, MovementFilterError> {
+        let Some(path) = &self.config.predictor else {
+            return Ok(self.movement_filter.is_some());
+        };
+        let text = std::fs::read_to_string(path).map_err(|source| MovementFilterError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let predictor =
+            MovementPredictor::parse(&text).map_err(|source| MovementFilterError::Parse {
+                path: path.clone(),
+                source,
+            })?;
+        self.movement_filter = Some(Arc::new(predictor));
+        Ok(true)
     }
 
     /// Name of the accelerator this instance was trained for.
@@ -137,8 +186,27 @@ impl Lisa {
         acc: &'a Accelerator,
     ) -> (MappingOutcome, Option<Mapping<'a>>) {
         let labels = self.predict_labels(dfg);
-        let mapper = LabelSaMapper::new(labels, self.config.sa.clone(), self.config.seed);
+        let mapper = self.build_mapper(labels, self.config.seed);
         IiSearch::default().run_with_mapping_par(&mapper, dfg, acc, self.config.parallelism)
+    }
+
+    /// Streams inference-time annealing events (movement samples, filter
+    /// summaries, SA snapshots) into `sink`. Events never change the
+    /// trajectory; the null sink restores silence.
+    pub fn with_observer(mut self, sink: EventSink) -> Lisa {
+        self.sink = sink;
+        self
+    }
+
+    /// Builds the inference-time mapper, attaching the movement filter
+    /// and observer when configured.
+    fn build_mapper(&self, labels: GuidanceLabels, seed: u64) -> LabelSaMapper {
+        let mut mapper = LabelSaMapper::new(labels, self.config.sa.clone(), seed)
+            .with_observer(self.sink.clone());
+        if let Some(f) = &self.movement_filter {
+            mapper = mapper.with_movement_filter(Arc::clone(f));
+        }
+        mapper
     }
 
     /// Serialises the trained model (the four label networks) to the
@@ -202,6 +270,8 @@ impl Lisa {
                 final_losses: [None; 4],
                 accuracy: LabelAccuracy { values: [None; 4] },
             },
+            movement_filter: None,
+            sink: EventSink::null(),
         })
     }
 
@@ -229,11 +299,52 @@ impl Lisa {
         parallelism: usize,
     ) -> (MappingOutcome, Option<Mapping<'a>>) {
         let labels = self.predict_labels(dfg);
-        let mapper = LabelSaMapper::new(labels, self.config.sa.clone(), seed);
+        let mapper = self.build_mapper(labels, seed);
         IiSearch {
             max_ii: Some(max_ii),
         }
         .run_with_mapping_par(&mapper, dfg, acc, parallelism)
+    }
+}
+
+/// Errors from [`Lisa::load_movement_filter`].
+#[derive(Debug)]
+pub enum MovementFilterError {
+    /// The predictor file could not be read.
+    Io {
+        /// The configured predictor path.
+        path: std::path::PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file is not a valid `lisa-movement-predictor v1` document.
+    Parse {
+        /// The configured predictor path.
+        path: std::path::PathBuf,
+        /// The underlying parse error.
+        source: lisa_labels::movement::MovementPredictorParseError,
+    },
+}
+
+impl fmt::Display for MovementFilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MovementFilterError::Io { path, source } => {
+                write!(f, "reading predictor {}: {source}", path.display())
+            }
+            MovementFilterError::Parse { path, source } => {
+                write!(f, "parsing predictor {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for MovementFilterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MovementFilterError::Io { source, .. } => Some(source),
+            MovementFilterError::Parse { source, .. } => Some(source),
+        }
     }
 }
 
@@ -318,6 +429,43 @@ mod tests {
         let (outcome, mapping) = lisa.map_capped(&dfg, &acc, 8);
         assert!(outcome.mapped(), "LISA should map doitgen on 4x4");
         mapping.unwrap().verify().unwrap();
+    }
+
+    /// Admits everything whose first feature is below one half — enough
+    /// to exercise both gate outcomes on real movements.
+    #[derive(Debug)]
+    struct HalfScorer;
+
+    impl MovementScorer for HalfScorer {
+        fn admit(&self, features: &[f64], _temp: f64) -> bool {
+            features.first().copied().unwrap_or(0.0) < 0.5
+        }
+    }
+
+    #[test]
+    fn filtered_mapping_verifies_and_is_thread_count_invariant() {
+        let (lisa, acc) = trained_fast();
+        let lisa = lisa.with_movement_filter(Arc::new(HalfScorer));
+        let dfg = polybench::kernel("doitgen").unwrap();
+        let (outcome, mapping) = lisa.map_request(&dfg, &acc, 2022, 8, 1);
+        assert!(outcome.mapped(), "filtered LISA should still map doitgen");
+        let seq = mapping.unwrap();
+        seq.verify().unwrap();
+        let (outcome4, mapping4) = lisa.map_request(&dfg, &acc, 2022, 8, 4);
+        assert_eq!(outcome.ii, outcome4.ii);
+        assert_eq!(format!("{seq:?}"), format!("{:?}", mapping4.unwrap()));
+    }
+
+    #[test]
+    fn load_movement_filter_honours_the_config() {
+        let (mut lisa, _) = trained_fast();
+        assert!(!lisa.load_movement_filter().unwrap(), "no path configured");
+
+        lisa.config.predictor = Some(std::path::PathBuf::from("/nonexistent/predictor.txt"));
+        assert!(matches!(
+            lisa.load_movement_filter(),
+            Err(MovementFilterError::Io { .. })
+        ));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod request;
 
 pub use compiled::CompiledModel;
 pub use config::LisaConfig;
-pub use framework::Lisa;
+pub use framework::{Lisa, MovementFilterError};
 pub use model_io::ModelImportError;
 pub use pipeline::{Pipeline, Stage, TrainError, DATASET_FILE, DFGS_FILE, MODEL_FILE};
 pub use registry::{ModelRegistry, RegistryError};

@@ -139,6 +139,44 @@ pub enum PipelineEvent {
         /// Attempted movements so far.
         attempted: u32,
     },
+    /// One routed-and-priced SA movement: the training pair for the
+    /// predict-then-verify movement filter. Emitted only when a sink is
+    /// listening (building the feature vector is skipped otherwise).
+    SaMovementSample {
+        /// Portfolio chain index.
+        chain: usize,
+        /// Target II of the annealing run.
+        ii: u32,
+        /// Movement feature vector (`lisa_mapper::predictor` layout).
+        features: Vec<f64>,
+        /// Exact cost delta `new_cost - old_cost` measured after routing.
+        delta_cost: f64,
+    },
+    /// End-of-chain totals of the movement-filter counters. Emitted once
+    /// per annealing chain, with or without a filter attached, so A/B
+    /// router-work comparisons read from the same stream.
+    SaFilterSummary {
+        /// Portfolio chain index.
+        chain: usize,
+        /// Target II of the annealing run.
+        ii: u32,
+        /// Movements proposed (victims unplaced and re-placed).
+        proposals: u64,
+        /// Proposals the predictor admitted to routing (with no filter
+        /// attached every proposal is admitted).
+        admitted: u64,
+        /// Proposals the predictor rejected before routing.
+        rejected: u64,
+        /// Rejected proposals routed anyway for the false-reject audit.
+        audited: u64,
+        /// Audited rejects the annealer would have accepted.
+        false_rejects: u64,
+        /// `route_edge` invocations on the admitted path (incl. the
+        /// initial construction).
+        router_invocations: u64,
+        /// `route_edge` invocations spent on the audit (measure-only).
+        audit_router_invocations: u64,
+    },
 }
 
 impl PipelineEvent {
@@ -158,6 +196,8 @@ impl PipelineEvent {
             PipelineEvent::ServeAnnealStarted { .. } => "serve_anneal_started",
             PipelineEvent::ServeResponded { .. } => "serve_responded",
             PipelineEvent::SaSnapshot { .. } => "sa_snapshot",
+            PipelineEvent::SaMovementSample { .. } => "sa_movement_sample",
+            PipelineEvent::SaFilterSummary { .. } => "sa_filter_summary",
         }
     }
 
@@ -288,6 +328,41 @@ impl PipelineEvent {
                 fields.push(format!("\"accepted\":{accepted}"));
                 fields.push(format!("\"attempted\":{attempted}"));
             }
+            PipelineEvent::SaMovementSample {
+                chain,
+                ii,
+                features,
+                delta_cost,
+            } => {
+                fields.push(format!("\"chain\":{chain}"));
+                fields.push(format!("\"ii\":{ii}"));
+                let xs: Vec<String> = features.iter().map(|&v| json_f64(v)).collect();
+                fields.push(format!("\"features\":[{}]", xs.join(",")));
+                fields.push(format!("\"delta_cost\":{}", json_f64(*delta_cost)));
+            }
+            PipelineEvent::SaFilterSummary {
+                chain,
+                ii,
+                proposals,
+                admitted,
+                rejected,
+                audited,
+                false_rejects,
+                router_invocations,
+                audit_router_invocations,
+            } => {
+                fields.push(format!("\"chain\":{chain}"));
+                fields.push(format!("\"ii\":{ii}"));
+                fields.push(format!("\"proposals\":{proposals}"));
+                fields.push(format!("\"admitted\":{admitted}"));
+                fields.push(format!("\"rejected\":{rejected}"));
+                fields.push(format!("\"audited\":{audited}"));
+                fields.push(format!("\"false_rejects\":{false_rejects}"));
+                fields.push(format!("\"router_invocations\":{router_invocations}"));
+                fields.push(format!(
+                    "\"audit_router_invocations\":{audit_router_invocations}"
+                ));
+            }
         }
         format!("{{{}}}", fields.join(","))
     }
@@ -366,6 +441,23 @@ mod tests {
                 accepted: 2,
                 attempted: 4,
             },
+            PipelineEvent::SaMovementSample {
+                chain: 0,
+                ii: 2,
+                features: vec![1.0, 2.0],
+                delta_cost: -3.5,
+            },
+            PipelineEvent::SaFilterSummary {
+                chain: 0,
+                ii: 2,
+                proposals: 10,
+                admitted: 7,
+                rejected: 3,
+                audited: 1,
+                false_rejects: 0,
+                router_invocations: 20,
+                audit_router_invocations: 2,
+            },
         ];
         let mut tags: Vec<&str> = events.iter().map(PipelineEvent::tag).collect();
         tags.sort_unstable();
@@ -403,6 +495,40 @@ mod tests {
             improved: false,
         };
         assert!(e.to_json().contains("\"ii\":null"));
+    }
+
+    #[test]
+    fn movement_sample_encodes_feature_array() {
+        let e = PipelineEvent::SaMovementSample {
+            chain: 1,
+            ii: 3,
+            features: vec![0.5, f64::NAN, 2.0],
+            delta_cost: -7.25,
+        };
+        let json = e.to_json();
+        assert!(json.starts_with("{\"event\":\"sa_movement_sample\""));
+        assert!(json.contains("\"features\":[0.5,null,2]"));
+        assert!(json.contains("\"delta_cost\":-7.25"));
+    }
+
+    #[test]
+    fn filter_summary_carries_every_counter() {
+        let e = PipelineEvent::SaFilterSummary {
+            chain: 2,
+            ii: 4,
+            proposals: 100,
+            admitted: 40,
+            rejected: 60,
+            audited: 4,
+            false_rejects: 1,
+            router_invocations: 250,
+            audit_router_invocations: 9,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"proposals\":100"));
+        assert!(json.contains("\"false_rejects\":1"));
+        assert!(json.contains("\"router_invocations\":250"));
+        assert!(json.contains("\"audit_router_invocations\":9"));
     }
 
     #[test]

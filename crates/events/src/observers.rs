@@ -147,6 +147,27 @@ impl StderrObserver {
                 "[serve] request {request}: {disposition} in {:.1}ms",
                 duration.as_secs_f64() * 1e3
             )),
+            // Per-movement training pairs are far too chatty even for
+            // verbose mode; they belong in JSONL logs.
+            PipelineEvent::SaMovementSample { .. } => None,
+            PipelineEvent::SaFilterSummary {
+                chain,
+                ii,
+                proposals,
+                admitted,
+                rejected,
+                audited,
+                false_rejects,
+                router_invocations,
+                audit_router_invocations,
+            } => self.verbose.then(|| {
+                format!(
+                    "[sa] chain {chain} ii={ii} filter: proposals={proposals} \
+                     admitted={admitted} rejected={rejected} audited={audited} \
+                     false_rejects={false_rejects} router_invocations={router_invocations} \
+                     audit_router_invocations={audit_router_invocations}"
+                )
+            }),
         }
     }
 }

@@ -13,7 +13,10 @@
 //! * [`iter_gen`] — §V-B: the iterative partial-label-aware SA loop that
 //!   produces candidate labels and combines them;
 //! * [`filter`] — §V-C: the `e = O + σ·N` quality filter;
-//! * [`dataset`] — packages labelled DFGs into per-network training sets.
+//! * [`dataset`] — packages labelled DFGs into per-network training sets;
+//! * [`movement`] — the predict-then-verify movement filter: captures
+//!   `(movement features, Δcost)` pairs from annealing runs and trains
+//!   the router-gating [`MovementPredictor`].
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod dataset;
 pub mod extract;
 pub mod filter;
 pub mod iter_gen;
+pub mod movement;
 
 pub use attributes::DfgAttributes;
 pub use dataset::{
@@ -49,3 +53,7 @@ pub use dataset::{
 };
 pub use filter::FilterConfig;
 pub use iter_gen::{generate_labels, generate_labels_with, GeneratedLabels, IterGenConfig};
+pub use movement::{
+    parse_movement_set, write_movement_set, MovementPair, MovementPredictor, MovementRecorder,
+    MovementSet,
+};

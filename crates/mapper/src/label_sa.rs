@@ -320,6 +320,7 @@ pub struct LabelSaMapper {
     name: String,
     portfolio: PortfolioParams,
     sink: EventSink,
+    filter: Option<std::sync::Arc<dyn crate::predictor::MovementScorer>>,
 }
 
 impl LabelSaMapper {
@@ -333,6 +334,7 @@ impl LabelSaMapper {
             name: "LISA".to_string(),
             portfolio: PortfolioParams::sequential(),
             sink: EventSink::null(),
+            filter: None,
         }
     }
 
@@ -349,6 +351,7 @@ impl LabelSaMapper {
             name: "SA+RP".to_string(),
             portfolio: PortfolioParams::sequential(),
             sink: EventSink::null(),
+            filter: None,
         }
     }
 
@@ -366,6 +369,7 @@ impl LabelSaMapper {
             name: "LISA-partial".to_string(),
             portfolio: PortfolioParams::sequential(),
             sink: EventSink::null(),
+            filter: None,
         }
     }
 
@@ -381,6 +385,17 @@ impl LabelSaMapper {
     /// change the trajectory; the null sink restores silence.
     pub fn with_observer(mut self, sink: EventSink) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Attaches a predict-then-verify movement filter (see
+    /// [`crate::SaMapper::with_movement_filter`]); all portfolio chains
+    /// share the one immutable scorer.
+    pub fn with_movement_filter(
+        mut self,
+        filter: std::sync::Arc<dyn crate::predictor::MovementScorer>,
+    ) -> Self {
+        self.filter = Some(filter);
         self
     }
 
@@ -426,6 +441,7 @@ impl IiMapper for LabelSaMapper {
             ii,
             self.seed,
             &self.sink,
+            self.filter.as_deref(),
         )
     }
 }

@@ -43,6 +43,7 @@ pub mod greedy;
 pub mod label_sa;
 mod mapping;
 pub mod portfolio;
+pub mod predictor;
 pub mod router;
 pub mod sa;
 pub mod schedule;
@@ -51,6 +52,7 @@ pub use error::MapperError;
 pub use label_sa::{GuidanceLabels, LabelMode, LabelSaMapper};
 pub use mapping::{Mapping, Placement, RouteStep};
 pub use portfolio::PortfolioParams;
+pub use predictor::{FilterStats, MovementScorer, MOVEMENT_FEATURE_DIM};
 pub use router::RouterScratch;
-pub use sa::{SaMapper, SaParams};
+pub use sa::{anneal_chain, SaMapper, SaParams};
 pub use schedule::{IiMapper, IiSearch, MappingOutcome};

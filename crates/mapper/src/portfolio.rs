@@ -161,7 +161,7 @@ where
 /// Derives the RNG seed of chain `chain` for target `ii`. Chain 0 keeps
 /// the historical single-chain derivation (`seed ^ (ii << 32)`); later
 /// chains decorrelate through a splitmix64-style finalizer.
-fn chain_seed(seed: u64, chain: u64, ii: u32) -> u64 {
+pub(crate) fn chain_seed(seed: u64, chain: u64, ii: u32) -> u64 {
     let base = if chain == 0 {
         seed
     } else {
@@ -179,7 +179,11 @@ fn chain_seed(seed: u64, chain: u64, ii: u32) -> u64 {
 /// per-run state, e.g. the label policy's InitialOnly flag). All chains
 /// are joined before judging; the winner is the lowest-cost successful
 /// chain, ties broken by chain index, so the result is identical no
-/// matter how the chains were scheduled.
+/// matter how the chains were scheduled. The movement filter, when
+/// attached, is one immutable scorer shared by every chain — scoring is
+/// a pure function of the feature vector, so filtered portfolios stay
+/// thread-count invariant.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn anneal_portfolio<'a, P, F>(
     make_policy: F,
     params: &SaParams,
@@ -189,6 +193,7 @@ pub(crate) fn anneal_portfolio<'a, P, F>(
     ii: u32,
     seed: u64,
     sink: &EventSink,
+    filter: Option<&dyn crate::predictor::MovementScorer>,
 ) -> Option<Mapping<'a>>
 where
     P: SaPolicy,
@@ -201,8 +206,9 @@ where
         |_, chain| {
             let policy = make_policy(chain);
             let mut rng = Rng::seed_from_u64(chain_seed(seed, chain as u64, ii));
-            anneal(&policy, params, dfg, acc, ii, &mut rng, chain, sink)
-                .map(|m| (mapping_cost(&m), m))
+            let (mapping, _stats) =
+                anneal(&policy, params, dfg, acc, ii, &mut rng, chain, sink, filter);
+            mapping.map(|m| (mapping_cost(&m), m))
         },
     );
     let mut best: Option<(f64, Mapping<'a>)> = None;

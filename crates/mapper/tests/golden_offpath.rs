@@ -1,0 +1,121 @@
+//! Golden predictor-off trajectory pins.
+//!
+//! These digests were captured from the annealer BEFORE the
+//! predict-then-verify movement filter existed. The filter-off path must
+//! stay byte-identical to that binary: same placements, same routes, for
+//! the same `(dfg, accelerator, ii, seed)`. Any drift here means the
+//! gating refactor changed the RNG draw order or the movement logic.
+
+use lisa_arch::Accelerator;
+use lisa_dfg::{polybench, Dfg, OpKind};
+use lisa_mapper::{GuidanceLabels, IiMapper, LabelSaMapper, Mapping, SaMapper, SaParams};
+
+/// FNV-1a over every placement and route step, in id order.
+fn digest(m: &Mapping) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let put = |h: &mut u64, x: u64| {
+        *h ^= x;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for v in m.dfg().node_ids() {
+        match m.placement(v) {
+            Some(p) => {
+                put(&mut h, 1);
+                put(&mut h, p.pe.index() as u64);
+                put(&mut h, u64::from(p.time));
+            }
+            None => put(&mut h, 0),
+        }
+    }
+    for e in m.dfg().edge_ids() {
+        match m.route(e) {
+            Some(steps) => {
+                put(&mut h, steps.len() as u64);
+                for s in steps {
+                    let (kind, pe, reg) = match s.resource {
+                        lisa_arch::Resource::Fu(p) => (1u64, p.index() as u64, 0u64),
+                        lisa_arch::Resource::Reg(p, r) => (2u64, p.index() as u64, u64::from(r)),
+                    };
+                    put(&mut h, kind);
+                    put(&mut h, pe);
+                    put(&mut h, reg);
+                    put(&mut h, u64::from(s.time));
+                }
+            }
+            None => put(&mut h, u64::MAX),
+        }
+    }
+    h
+}
+
+fn chain_dfg() -> Dfg {
+    let mut g = Dfg::new("chain4");
+    let a = g.add_node(OpKind::Load, "a");
+    let b = g.add_node(OpKind::Add, "b");
+    let c = g.add_node(OpKind::Mul, "c");
+    let d = g.add_node(OpKind::Store, "d");
+    g.add_data_edge(a, b).unwrap();
+    g.add_data_edge(b, c).unwrap();
+    g.add_data_edge(c, d).unwrap();
+    g
+}
+
+fn sa_digest(dfg: &Dfg, acc: &Accelerator, ii: u32, seed: u64) -> u64 {
+    let mut mapper = SaMapper::new(SaParams::paper(), seed);
+    let m = mapper
+        .map_at_ii(dfg, acc, ii)
+        .expect("golden case must map");
+    m.verify().unwrap();
+    digest(&m)
+}
+
+fn label_sa_digest(dfg: &Dfg, acc: &Accelerator, ii: u32, seed: u64) -> u64 {
+    let mut mapper = LabelSaMapper::new(GuidanceLabels::initial(dfg), SaParams::paper(), seed);
+    let m = mapper
+        .map_at_ii(dfg, acc, ii)
+        .expect("golden case must map");
+    m.verify().unwrap();
+    digest(&m)
+}
+
+#[test]
+fn vanilla_sa_trajectories_match_pre_filter_binary() {
+    let acc3 = Accelerator::cgra("3x3", 3, 3);
+    let acc2 = Accelerator::cgra("2x2", 2, 2);
+    let doitgen = polybench::kernel("doitgen").unwrap();
+    let chain = chain_dfg();
+    let got = [
+        sa_digest(&doitgen, &acc3, 3, 1),
+        sa_digest(&doitgen, &acc3, 3, 7),
+        sa_digest(&doitgen, &acc3, 3, 42),
+        sa_digest(&chain, &acc2, 1, 42),
+        sa_digest(&chain, &acc2, 2, 9),
+    ];
+    assert_eq!(got, GOLDEN_SA, "vanilla SA trajectory drifted");
+}
+
+#[test]
+fn label_sa_trajectories_match_pre_filter_binary() {
+    let acc3 = Accelerator::cgra("3x3", 3, 3);
+    let doitgen = polybench::kernel("doitgen").unwrap();
+    let chain = chain_dfg();
+    let got = [
+        label_sa_digest(&doitgen, &acc3, 3, 1),
+        label_sa_digest(&doitgen, &acc3, 3, 42),
+        label_sa_digest(&chain, &acc3, 1, 9),
+    ];
+    assert_eq!(got, GOLDEN_LABEL_SA, "label-aware SA trajectory drifted");
+}
+
+const GOLDEN_SA: [u64; 5] = [
+    6022767452455792074,
+    6253017857123897318,
+    2509703924138623634,
+    15469199065668036785,
+    2349378152788221529,
+];
+const GOLDEN_LABEL_SA: [u64; 3] = [
+    6850723976941017084,
+    10280484549389806084,
+    3047957704053923850,
+];

@@ -37,6 +37,54 @@ cargo run -q --release --offline --bin lisa-map -- \
     doitgen --arch 16x16 --mapper sa --max-ii 8 --seed 7
 echo "verify: 16x16 fabric maps end-to-end on the distance oracle"
 
+# Predict-then-verify smoke: close the capture -> train -> gate loop.
+# The capture run (its own seed, mirroring filter_ab: the predictor
+# serves *later* mappings of the same kernel) journals (movement
+# features, delta-cost) pairs as a free by-product of mapping;
+# train-predictor fits the movement filter from them; every gated re-map
+# must still verify (lisa-map exits nonzero otherwise), reject at least
+# one proposal, and summed over three seeds invoke the router strictly
+# less often than the unfiltered runs, read from the `filter:` summary
+# both arms print with --verbose. (Summing damps per-seed trajectory
+# noise; the real measurement is filter_ab's interleaved median-of-5.)
+FILTER_DIR="target/filter-smoke"
+rm -rf "$FILTER_DIR"
+mkdir -p "$FILTER_DIR"
+cargo run -q --release --offline --bin lisa-map -- \
+    gemm --arch 4x4 --mapper sa --max-ii 8 --seed 40007 --verbose \
+    --capture-movements "$FILTER_DIR/pairs.txt" >"$FILTER_DIR/cap.out"
+cargo run -q --release --offline --bin lisa-map -- \
+    train-predictor --pairs "$FILTER_DIR/pairs.txt" \
+    --out "$FILTER_DIR/movement.predictor" --epochs 60
+OFF_CALLS=0
+ON_CALLS=0
+for SEED in 7 8 9; do
+    cargo run -q --release --offline --bin lisa-map -- \
+        gemm --arch 4x4 --mapper sa --max-ii 8 --seed "$SEED" --verbose \
+        >"$FILTER_DIR/off$SEED.out"
+    cargo run -q --release --offline --bin lisa-map -- \
+        gemm --arch 4x4 --mapper sa --max-ii 8 --seed "$SEED" --verbose \
+        --predictor "$FILTER_DIR/movement.predictor" >"$FILTER_DIR/on$SEED.out"
+    grep -q 'filter: .* rejected=0 ' "$FILTER_DIR/off$SEED.out"
+    if ! grep -q 'filter: .* rejected=[1-9]' "$FILTER_DIR/on$SEED.out"; then
+        echo "verify: movement filter rejected nothing (seed $SEED)" >&2
+        exit 1
+    fi
+    OFF=$(sed -n 's/.* router_invocations=\([0-9][0-9]*\).*/\1/p' "$FILTER_DIR/off$SEED.out")
+    ON=$(sed -n 's/.* router_invocations=\([0-9][0-9]*\).*/\1/p' "$FILTER_DIR/on$SEED.out")
+    if [ -z "$OFF" ] || [ -z "$ON" ]; then
+        echo "verify: movement filter summary missing (seed $SEED)" >&2
+        exit 1
+    fi
+    OFF_CALLS=$((OFF_CALLS + OFF))
+    ON_CALLS=$((ON_CALLS + ON))
+done
+if [ "$ON_CALLS" -ge "$OFF_CALLS" ]; then
+    echo "verify: movement filter saved no router work (off=$OFF_CALLS on=$ON_CALLS)" >&2
+    exit 1
+fi
+echo "verify: movement filter cuts router invocations ($OFF_CALLS -> $ON_CALLS) and the mappings verify"
+
 # Pipeline kill/resume smoke: a checkpointed training run stopped after
 # the label stage must resume to a model byte-identical with an
 # uninterrupted run of the same config.

@@ -4,11 +4,15 @@
 //! ```text
 //! lisa-map <kernel> [--arch <key>] [--mapper lisa|sa|greedy|ilp]
 //!          [--model <path>] [--unroll <k>] [--max-ii <n>] [--seed <n>]
-//!          [--show]
+//!          [--predictor <path>|off] [--capture-movements <path>]
+//!          [--verbose] [--show]
 //!
 //! lisa-map train [--arch <key>] [--full] [--dfgs <n>] [--seed <n>]
 //!          [--checkpoint <dir>] [--resume <dir>] [--stop-after <stage>]
 //!          [--out <path>] [--verbose] [--quiet]
+//!
+//! lisa-map train-predictor --pairs <path> --out <path>
+//!          [--epochs <n>] [--seed <n>]
 //!
 //! kernel:  one of the 12 PolyBench kernels (gemm, atax, ...),
 //!          `core:<kernel>` for the systolic compute core, or
@@ -30,19 +34,31 @@
 //! goes; `--resume <dir>` picks a killed run back up from those files and
 //! produces a byte-identical model. `--stop-after <stage>` ends the run
 //! early (useful with `--checkpoint` to split work across invocations).
+//!
+//! The predict-then-verify movement filter closes a capture → train →
+//! gate loop: `--capture-movements <path>` journals `(movement features,
+//! Δcost)` pairs from any annealing run as a `lisa-movement-set v1`
+//! file, `train-predictor` fits a movement predictor to such a file, and
+//! `--predictor <path>` gates subsequent runs' routers with it (`off`,
+//! the default, maps exactly as the unfiltered binary). `--verbose`
+//! prints the run's aggregate filter counters as a final
+//! `filter: proposals=... router_invocations=...` line on stdout.
 
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use lisa::arch::Accelerator;
 use lisa::core::{Lisa, LisaConfig, Pipeline, Stage, MODEL_FILE};
 use lisa::dfg::{generate_random_dfg, polybench, unroll::unroll, Dfg, RandomDfgConfig};
-use lisa::events::{EventSink, StderrObserver};
+use lisa::events::{EventSink, MultiObserver, Observer, PipelineEvent, StderrObserver};
+use lisa::gnn::TrainConfig;
+use lisa::labels::movement::{parse_movement_set, write_movement_set, MovementPredictor};
+use lisa::labels::MovementRecorder;
 use lisa::mapper::display::render;
 use lisa::mapper::exact::{ExactMapper, ExactParams};
 use lisa::mapper::greedy::GreedyMapper;
 use lisa::mapper::schedule::IiSearch;
-use lisa::mapper::{SaMapper, SaParams};
+use lisa::mapper::{FilterStats, SaMapper, SaParams};
 
 struct Options {
     kernel: String,
@@ -52,7 +68,61 @@ struct Options {
     unroll: u32,
     max_ii: u32,
     seed: u64,
+    predictor: Option<PathBuf>,
+    capture: Option<PathBuf>,
+    verbose: bool,
     show: bool,
+}
+
+struct TrainPredictorOptions {
+    pairs: PathBuf,
+    out: PathBuf,
+    epochs: usize,
+    seed: u64,
+}
+
+/// Sums every chain's `SaFilterSummary` counters across the whole run
+/// (all IIs, all chains) for the end-of-run summary line.
+#[derive(Debug, Default)]
+struct FilterTotals(Mutex<FilterStats>);
+
+impl FilterTotals {
+    fn snapshot(&self) -> FilterStats {
+        match self.0.lock() {
+            Ok(guard) => *guard,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
+    }
+}
+
+impl Observer for FilterTotals {
+    fn event(&self, event: &PipelineEvent) {
+        if let PipelineEvent::SaFilterSummary {
+            proposals,
+            admitted,
+            rejected,
+            audited,
+            false_rejects,
+            router_invocations,
+            audit_router_invocations,
+            ..
+        } = event
+        {
+            let mut totals = match self.0.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            totals.merge(&FilterStats {
+                proposals: *proposals,
+                admitted: *admitted,
+                rejected: *rejected,
+                audited: *audited,
+                false_rejects: *false_rejects,
+                router_invocations: *router_invocations,
+                audit_router_invocations: *audit_router_invocations,
+            });
+        }
+    }
 }
 
 struct TrainOptions {
@@ -82,6 +152,9 @@ fn parse_args() -> Result<Options, String> {
         unroll: 1,
         max_ii: 16,
         seed: 2022,
+        predictor: None,
+        capture: None,
+        verbose: false,
         show: false,
     };
     while let Some(flag) = args.next() {
@@ -108,11 +181,59 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
+            "--predictor" => {
+                let v = value("--predictor")?;
+                opts.predictor = if v == "off" {
+                    None
+                } else {
+                    Some(PathBuf::from(v))
+                };
+            }
+            "--capture-movements" => {
+                opts.capture = Some(PathBuf::from(value("--capture-movements")?))
+            }
+            "--verbose" => opts.verbose = true,
             "--show" => opts.show = true,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
     Ok(opts)
+}
+
+fn parse_train_predictor_args() -> Result<TrainPredictorOptions, String> {
+    let mut args = std::env::args().skip(2);
+    let mut pairs = None;
+    let mut out = None;
+    let mut epochs = 200;
+    let mut seed = 2022;
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", train_predictor_usage()))
+        };
+        match flag.as_str() {
+            "--pairs" => pairs = Some(PathBuf::from(value("--pairs")?)),
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--epochs" => {
+                epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("bad --epochs: {e}"))?
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--help" | "-h" => return Err(train_predictor_usage()),
+            other => return Err(format!("unknown flag {other}\n{}", train_predictor_usage())),
+        }
+    }
+    Ok(TrainPredictorOptions {
+        pairs: pairs.ok_or_else(|| format!("--pairs is required\n{}", train_predictor_usage()))?,
+        out: out.ok_or_else(|| format!("--out is required\n{}", train_predictor_usage()))?,
+        epochs,
+        seed,
+    })
 }
 
 fn parse_train_args() -> Result<TrainOptions, String> {
@@ -191,9 +312,15 @@ fn parse_train_args() -> Result<TrainOptions, String> {
 fn usage() -> String {
     "usage: lisa-map <kernel|core:<kernel>|rand:<seed>> \
      [--arch 3x3|4x4|4x4-lr|4x4-lm|8x8|systolic|<RxC>] \
-     [--mapper lisa|sa|greedy|ilp] [--model path] [--unroll k] [--max-ii n] [--seed n] [--show]\n\
-     \x20      lisa-map train --help   for offline training"
+     [--mapper lisa|sa|greedy|ilp] [--model path] [--unroll k] [--max-ii n] [--seed n] \
+     [--predictor path|off] [--capture-movements path] [--verbose] [--show]\n\
+     \x20      lisa-map train --help             for offline label training\n\
+     \x20      lisa-map train-predictor --help   for movement-predictor training"
         .to_string()
+}
+
+fn train_predictor_usage() -> String {
+    "usage: lisa-map train-predictor --pairs path --out path [--epochs n] [--seed n]".to_string()
 }
 
 fn train_usage() -> String {
@@ -239,10 +366,11 @@ fn build_dfg(spec: &str, factor: u32) -> Result<Dfg, String> {
 }
 
 /// The quick-scale config the `lisa` mapper trains (and imports) with.
-fn mapping_config(acc: &Accelerator, seed: u64) -> LisaConfig {
+fn mapping_config(acc: &Accelerator, seed: u64, predictor: Option<PathBuf>) -> LisaConfig {
     let mut config = LisaConfig::fast();
     config.training_dfgs = 24;
     config.seed = seed;
+    config.predictor = predictor;
     if acc.is_spatial_only() {
         config = config.for_systolic();
     }
@@ -321,10 +449,40 @@ fn run_train(opts: TrainOptions) -> Result<(), String> {
     Ok(())
 }
 
-fn load_model(path: &PathBuf, acc: &Accelerator, seed: u64) -> Result<Lisa, String> {
+fn run_train_predictor(opts: TrainPredictorOptions) -> Result<(), String> {
+    let text = std::fs::read_to_string(&opts.pairs)
+        .map_err(|e| format!("{}: {e}", opts.pairs.display()))?;
+    let set = parse_movement_set(&text).map_err(|e| format!("{}: {e}", opts.pairs.display()))?;
+    let config = TrainConfig {
+        epochs: opts.epochs,
+        ..TrainConfig::paper()
+    };
+    let (predictor, report) = MovementPredictor::train(&set, &config, opts.seed)
+        .map_err(|e| format!("training on {}: {e}", opts.pairs.display()))?;
+    std::fs::write(&opts.out, predictor.export())
+        .map_err(|e| format!("writing {}: {e}", opts.out.display()))?;
+    let improving = set.pairs.iter().filter(|p| p.delta_cost <= 0.0).count();
+    eprintln!(
+        "trained movement predictor on {} pairs ({improving} improving): \
+         final loss {:.6}, threshold {:?}; written to {}",
+        set.len(),
+        report.final_loss(),
+        predictor.threshold(),
+        opts.out.display()
+    );
+    Ok(())
+}
+
+fn load_predictor(path: &PathBuf) -> Result<Arc<MovementPredictor>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let lisa = Lisa::import_model(&mapping_config(acc, seed), &text)
-        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let predictor =
+        MovementPredictor::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(Arc::new(predictor))
+}
+
+fn load_model(path: &PathBuf, acc: &Accelerator, config: &LisaConfig) -> Result<Lisa, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let lisa = Lisa::import_model(config, &text).map_err(|e| format!("{}: {e}", path.display()))?;
     if lisa.accelerator_name() != acc.name() {
         eprintln!(
             "warning: model was trained for {} but mapping on {}",
@@ -345,6 +503,20 @@ fn main() {
             }
         };
         if let Err(msg) = run_train(opts) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("train-predictor") {
+        let opts = match parse_train_predictor_args() {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(msg) = run_train_predictor(opts) {
             eprintln!("{msg}");
             std::process::exit(1);
         }
@@ -381,13 +553,40 @@ fn main() {
         opts.mapper
     );
 
+    // Event plumbing: the movement recorder captures training pairs, the
+    // totals observer aggregates filter counters for the `--verbose`
+    // summary line. The null sink keeps unobserved runs on the historical
+    // fast path.
+    let totals = Arc::new(FilterTotals::default());
+    let recorder = opts
+        .capture
+        .as_ref()
+        .map(|_| Arc::new(MovementRecorder::new()));
+    let sink = if opts.verbose || recorder.is_some() {
+        let mut observers: Vec<Arc<dyn Observer>> = Vec::new();
+        if let Some(rec) = &recorder {
+            observers.push(Arc::clone(rec) as Arc<dyn Observer>);
+        }
+        if opts.verbose {
+            observers.push(Arc::clone(&totals) as Arc<dyn Observer>);
+            observers.push(Arc::new(StderrObserver::verbose()));
+        }
+        EventSink::new(Arc::new(MultiObserver::new(observers)))
+    } else {
+        EventSink::null()
+    };
+    if opts.predictor.is_some() && matches!(opts.mapper.as_str(), "greedy" | "ilp") {
+        eprintln!("note: --predictor only gates the annealing mappers (lisa, sa); ignored");
+    }
+
     let search = IiSearch {
         max_ii: Some(opts.max_ii),
     };
     let (outcome, mapping) = match opts.mapper.as_str() {
         "lisa" => {
-            let lisa = if let Some(path) = &opts.model {
-                match load_model(path, &acc, opts.seed) {
+            let config = mapping_config(&acc, opts.seed, opts.predictor.clone());
+            let mut lisa = if let Some(path) = &opts.model {
+                match load_model(path, &acc, &config) {
                     Ok(l) => l,
                     Err(msg) => {
                         eprintln!("{msg}");
@@ -396,7 +595,7 @@ fn main() {
                 }
             } else {
                 eprintln!("training label models (quick scale)...");
-                match Lisa::train_for(&acc, &mapping_config(&acc, opts.seed)) {
+                match Lisa::train_for(&acc, &config) {
                     Ok(l) => l,
                     Err(e) => {
                         eprintln!("training failed: {e}");
@@ -404,10 +603,31 @@ fn main() {
                     }
                 }
             };
+            match lisa.load_movement_filter() {
+                Ok(true) => eprintln!("movement filter attached"),
+                Ok(false) => {}
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+            let lisa = lisa.with_observer(sink.clone());
             lisa.map_capped(&dfg, &acc, opts.max_ii)
         }
         "sa" => {
-            let mut sa = SaMapper::new(SaParams::paper(), opts.seed);
+            let mut sa = SaMapper::new(SaParams::paper(), opts.seed).with_observer(sink.clone());
+            if let Some(path) = &opts.predictor {
+                match load_predictor(path) {
+                    Ok(p) => {
+                        eprintln!("movement filter attached (threshold {:?})", p.threshold());
+                        sa = sa.with_movement_filter(p);
+                    }
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             search.run_with_mapping(&mut sa, &dfg, &acc)
         }
         "greedy" => {
@@ -423,6 +643,35 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let (Some(path), Some(rec)) = (&opts.capture, &recorder) {
+        let set = rec.snapshot();
+        match std::fs::write(path, write_movement_set(&set)) {
+            Ok(()) => eprintln!(
+                "captured {} movement pairs to {}",
+                set.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if opts.verbose {
+        let t = totals.snapshot();
+        println!(
+            "filter: proposals={} admitted={} rejected={} audited={} false_rejects={} \
+             router_invocations={} audit_router_invocations={}",
+            t.proposals,
+            t.admitted,
+            t.rejected,
+            t.audited,
+            t.false_rejects,
+            t.router_invocations,
+            t.audit_router_invocations
+        );
+    }
 
     match (outcome.ii, mapping) {
         (Some(ii), Some(m)) => {
