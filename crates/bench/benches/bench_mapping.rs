@@ -12,14 +12,16 @@ use lisa_arch::Accelerator;
 use lisa_bench::timing::Suite;
 use lisa_dfg::{polybench, Dfg, OpKind};
 use lisa_events::{EventSink, Observer};
+use lisa_events::{PipelineEvent, RecordingObserver};
 use lisa_gnn::TrainConfig;
 use lisa_labels::movement::{MovementPredictor, MovementRecorder};
 use lisa_mapper::exact::{ExactMapper, ExactParams};
 use lisa_mapper::greedy::{GreedyMapper, GreedyParams};
 use lisa_mapper::sa::{movement_throughput, MovementEngine};
-use lisa_mapper::schedule::IiSearch;
+use lisa_mapper::schedule::{IiMapper, IiSearch};
 use lisa_mapper::{
-    anneal_chain, GuidanceLabels, LabelSaMapper, PortfolioParams, SaMapper, SaParams,
+    anneal_chain, ConstructiveStrategy, GuidanceLabels, LabelSaMapper, PortfolioParams, SaMapper,
+    SaParams, SearchStrategy, StrategySpec,
 };
 
 /// The paper's Fig. 4 DFG (A..J, dense region around B) — the running
@@ -178,6 +180,107 @@ fn main() {
         suite.bench(&format!("portfolio/fig4_3x3/chains{chains}"), || {
             let mut sa = SaMapper::new(SaParams::fast(), 42).with_portfolio(portfolio);
             std::hint::black_box(IiSearch { max_ii: Some(4) }.run(&mut sa, &fig4, &acc3));
+        });
+    }
+
+    // Strategy portfolio A/B (same shape as the filter A/B above): arm A
+    // is the homogeneous SA portfolio, arm B the mixed heterogeneous one
+    // (constructive + SA + evolutionary lanes). The sweep interleaves the
+    // arms per kernel across the fig9 4x4 suite at II 8, so machine drift
+    // lands on both arms equally, and counts which lane wins each kernel
+    // in arm B from the StrategyLaneWon events. Win counts, mapped
+    // counts, and the constructive-vs-SA router-work comparison land in
+    // the JSON as metrics (machine-checked by bench_check); the timing
+    // pair on doitgen is the cheap-tier A/B, the full-suite pair below
+    // is heavy tier.
+    let mixed_spec = StrategySpec::parse("mixed").expect("mixed is a valid spec");
+    let fig9: Vec<Dfg> = polybench::KERNEL_NAMES
+        .iter()
+        .map(|n| polybench::kernel(n).expect("fig9 kernel"))
+        .collect();
+    let recorder = Arc::new(RecordingObserver::default());
+    let sink = EventSink::new(Arc::clone(&recorder) as Arc<dyn Observer>);
+    let (mut mapped_sa, mut mapped_mixed) = (0u64, 0u64);
+    let (mut wins_constructive, mut wins_sa, mut wins_evolutionary) = (0u64, 0u64, 0u64);
+    for dfg in &fig9 {
+        let mut a = SaMapper::new(SaParams::fast(), 7).with_portfolio(PortfolioParams::new(2));
+        mapped_sa += u64::from(a.map_at_ii(dfg, &acc, 8).is_some());
+        let mut b = SaMapper::new(SaParams::fast(), 7)
+            .with_portfolio(PortfolioParams::new(2))
+            .with_strategy(mixed_spec.clone())
+            .with_observer(sink.clone());
+        mapped_mixed += u64::from(b.map_at_ii(dfg, &acc, 8).is_some());
+        for event in recorder.take() {
+            if let PipelineEvent::StrategyLaneWon { strategy, .. } = event {
+                match strategy {
+                    "constructive" => wins_constructive += 1,
+                    "evolutionary" => wins_evolutionary += 1,
+                    _ => wins_sa += 1,
+                }
+            }
+        }
+    }
+    suite.metric("strategy/fig9_4x4/mapped_sa", mapped_sa as f64, "kernels");
+    suite.metric(
+        "strategy/fig9_4x4/mapped_mixed",
+        mapped_mixed as f64,
+        "kernels",
+    );
+    suite.metric(
+        "strategy/fig9_4x4/wins_constructive",
+        wins_constructive as f64,
+        "kernels",
+    );
+    suite.metric("strategy/fig9_4x4/wins_sa", wins_sa as f64, "kernels");
+    suite.metric(
+        "strategy/fig9_4x4/wins_evolutionary",
+        wins_evolutionary as f64,
+        "kernels",
+    );
+
+    // Router-work comparison at a common II: the constructive lane and a
+    // single annealing chain (at the production `paper` schedule) both
+    // map doitgen at II 3 on the 4x4; the lane does it in about one
+    // router call per edge.
+    let lane = ConstructiveStrategy::new();
+    let (built, cstats) = lane.run(&doitgen, &acc, 3, 0, 0, &EventSink::null(), None);
+    assert!(
+        built.is_some(),
+        "constructive lane completes doitgen at II 3"
+    );
+    let (annealed, sastats) = anneal_chain(&SaParams::paper(), &doitgen, &acc, 3, 7, None);
+    assert!(annealed.is_some(), "SA chain completes doitgen at II 3");
+    suite.metric(
+        "strategy/doitgen_4x4/constructive_router_invocations",
+        cstats.router_invocations as f64,
+        "calls",
+    );
+    suite.metric(
+        "strategy/doitgen_4x4/sa_router_invocations",
+        sastats.router_invocations as f64,
+        "calls",
+    );
+
+    for (tag, spec) in [
+        ("sa", StrategySpec::default()),
+        ("mixed", mixed_spec.clone()),
+    ] {
+        suite.bench(&format!("strategy/doitgen_4x4/{tag}"), || {
+            let mut sa = SaMapper::new(SaParams::fast(), 7)
+                .with_portfolio(PortfolioParams::new(2))
+                .with_strategy(spec.clone());
+            std::hint::black_box(sa.map_at_ii(&doitgen, &acc, 3));
+        });
+    }
+    for (tag, spec) in [("sa", StrategySpec::default()), ("mixed", mixed_spec)] {
+        let fig9 = &fig9;
+        suite.bench_heavy(&format!("strategy/fig9_4x4/{tag}"), || {
+            for dfg in fig9 {
+                let mut sa = SaMapper::new(SaParams::fast(), 7)
+                    .with_portfolio(PortfolioParams::new(2))
+                    .with_strategy(spec.clone());
+                std::hint::black_box(search.run(&mut sa, dfg, &acc));
+            }
         });
     }
 

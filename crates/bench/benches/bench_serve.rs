@@ -31,6 +31,7 @@ fn request(kernel: &str, seed: u64) -> String {
         accelerator: "4x4".to_string(),
         seed,
         max_ii: 8,
+        strategy: Default::default(),
         dfg: polybench::kernel(kernel).expect("known kernel"),
     }
     .canonical_text()

@@ -24,6 +24,8 @@ const REQUIRED_MAPPING: &[&str] = &[
     "e2e/doitgen_32x32/greedy",
     "filter/fig4_3x3/off",
     "filter/fig4_3x3/on",
+    "strategy/doitgen_4x4/sa",
+    "strategy/doitgen_4x4/mixed",
 ];
 
 /// Distance-index footprint metrics the mapping suite must emit for the
@@ -37,6 +39,13 @@ const REQUIRED_MAPPING_METRICS: &[&str] = &[
     "filter/fig4_3x3/on_router_invocations",
     "filter/fig4_3x3/on_rejected",
     "filter/fig4_3x3/on_false_rejects",
+    "strategy/fig9_4x4/mapped_sa",
+    "strategy/fig9_4x4/mapped_mixed",
+    "strategy/fig9_4x4/wins_constructive",
+    "strategy/fig9_4x4/wins_sa",
+    "strategy/fig9_4x4/wins_evolutionary",
+    "strategy/doitgen_4x4/constructive_router_invocations",
+    "strategy/doitgen_4x4/sa_router_invocations",
 ];
 
 /// GNN-suite entries every run must produce: inference throughput for

@@ -3,7 +3,7 @@
 use lisa_dfg::RandomDfgConfig;
 use lisa_gnn::TrainConfig;
 use lisa_labels::{FilterConfig, IterGenConfig};
-use lisa_mapper::SaParams;
+use lisa_mapper::{SaParams, StrategySpec};
 
 /// Configuration of the full train-for-accelerator pipeline (paper Fig. 2:
 /// training-data generation → GNN training → label-aware mapping).
@@ -27,6 +27,12 @@ pub struct LisaConfig {
     /// Annealer parameters used at inference time (the final label-aware
     /// mapping of new DFGs).
     pub sa: SaParams,
+    /// Lane mix of the inference-time mapping portfolio. The default
+    /// (`Homogeneous(Sa)`) races homogeneous annealing chains exactly as
+    /// the pre-strategy framework did; `mixed` adds the constructive
+    /// fast path and an evolutionary lane (see
+    /// [`StrategySpec::parse`]).
+    pub strategy: StrategySpec,
     /// Worker threads for the deterministic parallel stages: fans the
     /// training-data generation out across DFGs, the GNN gradient loop
     /// out across micro-batches ([`TrainConfig::parallelism`] is set
@@ -54,6 +60,7 @@ impl Default for LisaConfig {
             train: TrainConfig::paper(),
             holdout_fraction: 0.2,
             sa: SaParams::paper(),
+            strategy: StrategySpec::default(),
             parallelism: lisa_mapper::portfolio::available_parallelism(),
             seed: 2022,
             predictor: None,

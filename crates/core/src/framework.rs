@@ -186,7 +186,7 @@ impl Lisa {
         acc: &'a Accelerator,
     ) -> (MappingOutcome, Option<Mapping<'a>>) {
         let labels = self.predict_labels(dfg);
-        let mapper = self.build_mapper(labels, self.config.seed);
+        let mapper = self.build_mapper(labels, self.config.seed, &self.config.strategy);
         IiSearch::default().run_with_mapping_par(&mapper, dfg, acc, self.config.parallelism)
     }
 
@@ -198,10 +198,16 @@ impl Lisa {
         self
     }
 
-    /// Builds the inference-time mapper, attaching the movement filter
-    /// and observer when configured.
-    fn build_mapper(&self, labels: GuidanceLabels, seed: u64) -> LabelSaMapper {
+    /// Builds the inference-time mapper, attaching the strategy mix, the
+    /// movement filter, and the observer when configured.
+    fn build_mapper(
+        &self,
+        labels: GuidanceLabels,
+        seed: u64,
+        strategy: &lisa_mapper::StrategySpec,
+    ) -> LabelSaMapper {
         let mut mapper = LabelSaMapper::new(labels, self.config.sa.clone(), seed)
+            .with_strategy(strategy.clone())
             .with_observer(self.sink.clone());
         if let Some(f) = &self.movement_filter {
             mapper = mapper.with_movement_filter(Arc::clone(f));
@@ -283,23 +289,32 @@ impl Lisa {
         acc: &'a Accelerator,
         max_ii: u32,
     ) -> (MappingOutcome, Option<Mapping<'a>>) {
-        self.map_request(dfg, acc, self.config.seed, max_ii, self.config.parallelism)
+        self.map_request(
+            dfg,
+            acc,
+            self.config.seed,
+            max_ii,
+            &self.config.strategy,
+            self.config.parallelism,
+        )
     }
 
-    /// Maps with an explicit seed, II cap, and worker budget — the
-    /// pool-friendly entry point: `&self` is shared read-only, so one
-    /// warm model can serve many concurrent requests, each with its own
-    /// seed and thread budget, without cloning the networks.
+    /// Maps with an explicit seed, II cap, strategy mix, and worker
+    /// budget — the pool-friendly entry point: `&self` is shared
+    /// read-only, so one warm model can serve many concurrent requests,
+    /// each with its own seed, lane mix, and thread budget, without
+    /// cloning the networks.
     pub fn map_request<'a>(
         &self,
         dfg: &'a Dfg,
         acc: &'a Accelerator,
         seed: u64,
         max_ii: u32,
+        strategy: &lisa_mapper::StrategySpec,
         parallelism: usize,
     ) -> (MappingOutcome, Option<Mapping<'a>>) {
         let labels = self.predict_labels(dfg);
-        let mapper = self.build_mapper(labels, seed);
+        let mapper = self.build_mapper(labels, seed, strategy);
         IiSearch {
             max_ii: Some(max_ii),
         }
@@ -447,11 +462,11 @@ mod tests {
         let (lisa, acc) = trained_fast();
         let lisa = lisa.with_movement_filter(Arc::new(HalfScorer));
         let dfg = polybench::kernel("doitgen").unwrap();
-        let (outcome, mapping) = lisa.map_request(&dfg, &acc, 2022, 8, 1);
+        let (outcome, mapping) = lisa.map_request(&dfg, &acc, 2022, 8, &Default::default(), 1);
         assert!(outcome.mapped(), "filtered LISA should still map doitgen");
         let seq = mapping.unwrap();
         seq.verify().unwrap();
-        let (outcome4, mapping4) = lisa.map_request(&dfg, &acc, 2022, 8, 4);
+        let (outcome4, mapping4) = lisa.map_request(&dfg, &acc, 2022, 8, &Default::default(), 4);
         assert_eq!(outcome.ii, outcome4.ii);
         assert_eq!(format!("{seq:?}"), format!("{:?}", mapping4.unwrap()));
     }

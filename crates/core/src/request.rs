@@ -12,6 +12,7 @@
 //! accelerator 4x4
 //! seed 2022
 //! max_ii 8
+//! strategy sa
 //! lisa-dfg v1
 //! ...
 //! end dfg
@@ -27,6 +28,7 @@ use std::fmt;
 
 use lisa_dfg::text::{parse_dfg_lines, write_dfg_into, ParseDfgError};
 use lisa_dfg::Dfg;
+use lisa_mapper::StrategySpec;
 
 /// Header line opening every serialized request.
 pub const REQUEST_HEADER: &str = "lisa-request v1";
@@ -41,6 +43,12 @@ pub struct MapRequest {
     pub seed: u64,
     /// II-search cap.
     pub max_ii: u32,
+    /// Lane mix of the mapping portfolio. Part of the determinism
+    /// contract (it selects which search trajectories run), so part of
+    /// the key. Documents without a `strategy` line parse as the
+    /// default (`sa`), and `canonical_text` always writes the line, so
+    /// legacy documents share the default's cache key.
+    pub strategy: StrategySpec,
     /// The kernel to map.
     pub dfg: Dfg,
 }
@@ -63,6 +71,8 @@ pub enum RequestParseError {
         /// The first trailing line.
         line: String,
     },
+    /// The `strategy` line named an unknown lane mix.
+    Strategy(lisa_mapper::ParseStrategyError),
     /// The embedded `lisa-dfg v1` block was malformed.
     Dfg(ParseDfgError),
 }
@@ -76,6 +86,7 @@ impl fmt::Display for RequestParseError {
             RequestParseError::TrailingContent { line } => {
                 write!(f, "trailing content after request: `{line}`")
             }
+            RequestParseError::Strategy(e) => write!(f, "strategy field: {e}"),
             RequestParseError::Dfg(e) => write!(f, "embedded DFG: {e}"),
         }
     }
@@ -84,6 +95,7 @@ impl fmt::Display for RequestParseError {
 impl std::error::Error for RequestParseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            RequestParseError::Strategy(e) => Some(e),
             RequestParseError::Dfg(e) => Some(e),
             _ => None,
         }
@@ -109,6 +121,7 @@ impl MapRequest {
         out.push_str(&format!("accelerator {}\n", self.accelerator));
         out.push_str(&format!("seed {}\n", self.seed));
         out.push_str(&format!("max_ii {}\n", self.max_ii));
+        out.push_str(&format!("strategy {}\n", self.strategy));
         write_dfg_into(&mut out, &self.dfg);
         out
     }
@@ -135,6 +148,19 @@ impl MapRequest {
         let max_ii: u32 = max_ii.parse().map_err(|_| RequestParseError::BadLine {
             line: format!("max_ii {max_ii}"),
         })?;
+        // The strategy line is optional for back-compat: pre-strategy
+        // documents parse as the default lane mix, and because
+        // `canonical_text` always writes the line, they share the
+        // explicit default's cache key.
+        let mut lines = lines.peekable();
+        let strategy = match lines.peek().and_then(|l| l.strip_prefix("strategy ")) {
+            Some(spec) => {
+                let spec = StrategySpec::parse(spec).map_err(RequestParseError::Strategy)?;
+                lines.next();
+                spec
+            }
+            None => StrategySpec::default(),
+        };
         let dfg = parse_dfg_lines(&mut lines)?;
         if let Some(extra) = lines.find(|l| !l.trim().is_empty()) {
             return Err(RequestParseError::TrailingContent {
@@ -145,6 +171,7 @@ impl MapRequest {
             accelerator,
             seed,
             max_ii,
+            strategy,
             dfg,
         })
     }
@@ -194,6 +221,7 @@ mod tests {
             accelerator: "4x4".to_string(),
             seed: 2022,
             max_ii: 8,
+            strategy: StrategySpec::default(),
             dfg: polybench::kernel("gemm").unwrap(),
         }
     }
@@ -230,12 +258,15 @@ mod tests {
         acc.accelerator = "8x8".to_string();
         let mut dfg = base.clone();
         dfg.dfg = polybench::kernel("mvt").unwrap();
+        let mut strat = base.clone();
+        strat.strategy = StrategySpec::parse("mixed").unwrap();
         let keys = [
             base.cache_key(),
             seed.cache_key(),
             cap.cache_key(),
             acc.cache_key(),
             dfg.cache_key(),
+            strat.cache_key(),
         ];
         let mut unique = keys.to_vec();
         unique.sort_unstable();
@@ -271,5 +302,34 @@ mod tests {
             MapRequest::parse("lisa-request v1\naccelerator 4x4\nseed 1\nmax_ii 8\n"),
             Err(RequestParseError::Dfg(_))
         ));
+        assert!(matches!(
+            MapRequest::parse(
+                "lisa-request v1\naccelerator 4x4\nseed 1\nmax_ii 8\nstrategy warp\n"
+            ),
+            Err(RequestParseError::Strategy(_))
+        ));
+    }
+
+    #[test]
+    fn strategy_line_is_optional_and_aliases_share_a_key() {
+        let base = sample();
+        // A pre-strategy document (no `strategy` line) parses as the
+        // default and lands on the same key as the explicit default.
+        let legacy = base.canonical_text().replace("strategy sa\n", "");
+        let parsed = MapRequest::parse(&legacy).unwrap();
+        assert_eq!(parsed, base);
+        assert_eq!(parsed.cache_key(), base.cache_key());
+        // Alias spellings of the same mix canonicalize to one key.
+        let mut evo = base.clone();
+        evo.strategy = StrategySpec::parse("evo").unwrap();
+        let mut evolutionary = base.clone();
+        evolutionary.strategy = StrategySpec::parse("evolutionary").unwrap();
+        assert_eq!(evo.cache_key(), evolutionary.cache_key());
+        let mut mixed = base.clone();
+        mixed.strategy = StrategySpec::parse("mixed").unwrap();
+        let mut listed = base.clone();
+        listed.strategy = StrategySpec::parse("constructive,sa,evolutionary").unwrap();
+        assert_eq!(mixed.cache_key(), listed.cache_key());
+        assert_ne!(mixed.cache_key(), base.cache_key());
     }
 }

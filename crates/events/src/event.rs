@@ -177,6 +177,18 @@ pub enum PipelineEvent {
         /// `route_edge` invocations spent on the audit (measure-only).
         audit_router_invocations: u64,
     },
+    /// The portfolio's winner for one II attempt: which lane produced
+    /// the mapping the deterministic winner rule kept.
+    StrategyLaneWon {
+        /// Target II of the race.
+        ii: u32,
+        /// Winning lane index (generalizes the portfolio chain index).
+        lane: usize,
+        /// Stable lane name (`sa`, `evolutionary`, `constructive`).
+        strategy: &'static str,
+        /// Cost of the winning mapping.
+        cost: f64,
+    },
 }
 
 impl PipelineEvent {
@@ -198,6 +210,7 @@ impl PipelineEvent {
             PipelineEvent::SaSnapshot { .. } => "sa_snapshot",
             PipelineEvent::SaMovementSample { .. } => "sa_movement_sample",
             PipelineEvent::SaFilterSummary { .. } => "sa_filter_summary",
+            PipelineEvent::StrategyLaneWon { .. } => "strategy_lane_won",
         }
     }
 
@@ -363,6 +376,17 @@ impl PipelineEvent {
                     "\"audit_router_invocations\":{audit_router_invocations}"
                 ));
             }
+            PipelineEvent::StrategyLaneWon {
+                ii,
+                lane,
+                strategy,
+                cost,
+            } => {
+                fields.push(format!("\"ii\":{ii}"));
+                fields.push(format!("\"lane\":{lane}"));
+                fields.push(format!("\"strategy\":\"{strategy}\""));
+                fields.push(format!("\"cost\":{}", json_f64(*cost)));
+            }
         }
         format!("{{{}}}", fields.join(","))
     }
@@ -457,6 +481,12 @@ mod tests {
                 false_rejects: 0,
                 router_invocations: 20,
                 audit_router_invocations: 2,
+            },
+            PipelineEvent::StrategyLaneWon {
+                ii: 2,
+                lane: 1,
+                strategy: "constructive",
+                cost: 12.5,
             },
         ];
         let mut tags: Vec<&str> = events.iter().map(PipelineEvent::tag).collect();

@@ -168,6 +168,14 @@ impl StderrObserver {
                      audit_router_invocations={audit_router_invocations}"
                 )
             }),
+            PipelineEvent::StrategyLaneWon {
+                ii,
+                lane,
+                strategy,
+                cost,
+            } => self.verbose.then(|| {
+                format!("[portfolio] ii={ii} lane {lane} ({strategy}) won at cost {cost:.2}")
+            }),
         }
     }
 }

@@ -22,7 +22,7 @@ use lisa_arch::{Accelerator, PeId};
 use lisa_dfg::{analysis, same_level, Dfg, EdgeId, NodeId};
 use lisa_events::EventSink;
 
-use crate::portfolio::{anneal_portfolio, PortfolioParams};
+use crate::portfolio::PortfolioParams;
 use crate::sa::{MoveStats, SaParams, SaPolicy, VanillaPolicy};
 use crate::schedule::IiMapper;
 use crate::Mapping;
@@ -319,6 +319,7 @@ pub struct LabelSaMapper {
     seed: u64,
     name: String,
     portfolio: PortfolioParams,
+    strategy: crate::strategy::StrategySpec,
     sink: EventSink,
     filter: Option<std::sync::Arc<dyn crate::predictor::MovementScorer>>,
 }
@@ -333,6 +334,7 @@ impl LabelSaMapper {
             seed,
             name: "LISA".to_string(),
             portfolio: PortfolioParams::sequential(),
+            strategy: crate::strategy::StrategySpec::default(),
             sink: EventSink::null(),
             filter: None,
         }
@@ -350,6 +352,7 @@ impl LabelSaMapper {
             seed,
             name: "SA+RP".to_string(),
             portfolio: PortfolioParams::sequential(),
+            strategy: crate::strategy::StrategySpec::default(),
             sink: EventSink::null(),
             filter: None,
         }
@@ -368,6 +371,7 @@ impl LabelSaMapper {
             seed,
             name: "LISA-partial".to_string(),
             portfolio: PortfolioParams::sequential(),
+            strategy: crate::strategy::StrategySpec::default(),
             sink: EventSink::null(),
             filter: None,
         }
@@ -378,6 +382,14 @@ impl LabelSaMapper {
     /// mapper, so `chains = 1` is byte-identical to the constructors).
     pub fn with_portfolio(mut self, portfolio: PortfolioParams) -> Self {
         self.portfolio = portfolio;
+        self
+    }
+
+    /// Selects the portfolio's lane mix (see [`crate::StrategySpec`]).
+    /// The default, `Homogeneous(Sa)`, is byte-identical to the
+    /// pre-strategy mapper for every configuration.
+    pub fn with_strategy(mut self, strategy: crate::strategy::StrategySpec) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -432,7 +444,8 @@ impl IiMapper for LabelSaMapper {
         );
         // Each chain gets a fresh policy: `LabelPolicy` carries the
         // InitialOnly transition flag, which must not leak across chains.
-        anneal_portfolio(
+        crate::strategy::run_spec(
+            &self.strategy,
             |_chain| LabelPolicy::new(&self.labels, self.config, dfg),
             &self.params,
             &self.portfolio,

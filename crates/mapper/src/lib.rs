@@ -10,6 +10,12 @@
 //!   ILP baseline (see DESIGN.md "Substitutions");
 //! * [`greedy`] — a deterministic list-scheduling mapper (the classic
 //!   non-stochastic heuristic class the paper contrasts against);
+//! * [`strategy`] — the [`SearchStrategy`] lane contract and the
+//!   heterogeneous portfolio race ([`StrategySpec`] selects the mix);
+//! * [`evolutionary`] — a deterministic population mapper with
+//!   journal-transaction crossover;
+//! * [`constructive`] — a LOCAL-style low-complexity one-pass mapper
+//!   that fast-paths easy kernels;
 //! * [`display`] — time-extended grid rendering of mappings (Fig. 5
 //!   style);
 //! * [`schedule`] — the II search driver shared by all mappers (start at
@@ -36,8 +42,10 @@
 //! # }
 //! ```
 
+pub mod constructive;
 pub mod display;
 mod error;
+pub mod evolutionary;
 pub mod exact;
 pub mod greedy;
 pub mod label_sa;
@@ -47,8 +55,11 @@ pub mod predictor;
 pub mod router;
 pub mod sa;
 pub mod schedule;
+pub mod strategy;
 
+pub use constructive::ConstructiveStrategy;
 pub use error::MapperError;
+pub use evolutionary::{EvoParams, EvolutionaryStrategy};
 pub use label_sa::{GuidanceLabels, LabelMode, LabelSaMapper};
 pub use mapping::{Mapping, Placement, RouteStep};
 pub use portfolio::PortfolioParams;
@@ -56,3 +67,4 @@ pub use predictor::{FilterStats, MovementScorer, MOVEMENT_FEATURE_DIM};
 pub use router::RouterScratch;
 pub use sa::{anneal_chain, SaMapper, SaParams};
 pub use schedule::{IiMapper, IiSearch, MappingOutcome};
+pub use strategy::{LaneKind, ParseStrategyError, SearchStrategy, StrategySpec};

@@ -19,14 +19,6 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use lisa_arch::Accelerator;
-use lisa_dfg::Dfg;
-use lisa_events::EventSink;
-use lisa_rng::Rng;
-
-use crate::sa::{anneal, mapping_cost, SaParams, SaPolicy};
-use crate::Mapping;
-
 /// Portfolio shape: how many chains compete and how many worker threads
 /// execute them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,61 +165,13 @@ pub(crate) fn chain_seed(seed: u64, chain: u64, ii: u32) -> u64 {
     base ^ (u64::from(ii) << 32)
 }
 
-/// Runs the chain portfolio for one II and returns the winning mapping.
-///
-/// `make_policy` constructs a fresh policy per chain (policies may carry
-/// per-run state, e.g. the label policy's InitialOnly flag). All chains
-/// are joined before judging; the winner is the lowest-cost successful
-/// chain, ties broken by chain index, so the result is identical no
-/// matter how the chains were scheduled. The movement filter, when
-/// attached, is one immutable scorer shared by every chain — scoring is
-/// a pure function of the feature vector, so filtered portfolios stay
-/// thread-count invariant.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn anneal_portfolio<'a, P, F>(
-    make_policy: F,
-    params: &SaParams,
-    portfolio: &PortfolioParams,
-    dfg: &'a Dfg,
-    acc: &'a Accelerator,
-    ii: u32,
-    seed: u64,
-    sink: &EventSink,
-    filter: Option<&dyn crate::predictor::MovementScorer>,
-) -> Option<Mapping<'a>>
-where
-    P: SaPolicy,
-    F: Fn(usize) -> P + Sync,
-{
-    let chains = portfolio.chains.max(1);
-    let results = par_map(
-        portfolio.parallelism,
-        (0..chains).collect::<Vec<usize>>(),
-        |_, chain| {
-            let policy = make_policy(chain);
-            let mut rng = Rng::seed_from_u64(chain_seed(seed, chain as u64, ii));
-            let (mapping, _stats) =
-                anneal(&policy, params, dfg, acc, ii, &mut rng, chain, sink, filter);
-            mapping.map(|m| (mapping_cost(&m), m))
-        },
-    );
-    let mut best: Option<(f64, Mapping<'a>)> = None;
-    for candidate in results.into_iter().flatten() {
-        match &best {
-            // Strict improvement only: earlier chains win ties.
-            Some((cost, _)) if candidate.0 >= *cost => {}
-            _ => best = Some(candidate),
-        }
-    }
-    best.map(|(_, m)| m)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sa::SaMapper;
+    use crate::sa::{SaMapper, SaParams};
     use crate::schedule::IiMapper;
-    use lisa_dfg::OpKind;
+    use lisa_arch::Accelerator;
+    use lisa_dfg::{Dfg, OpKind};
 
     #[test]
     fn par_map_preserves_item_order() {

@@ -233,10 +233,10 @@ fn candidate_slots_into(m: &Mapping<'_>, node: NodeId, out: &mut Vec<(PeId, u32)
 /// remap set, the unrouted-edge worklist, candidate slots); owning them
 /// here turns five-plus heap allocations per movement into none.
 #[derive(Debug, Default)]
-struct MoveBuffers {
+pub(crate) struct MoveBuffers {
     problematic: Vec<NodeId>,
     victims: Vec<NodeId>,
-    nodes: Vec<NodeId>,
+    pub(crate) nodes: Vec<NodeId>,
     edges: Vec<EdgeId>,
     candidates: Vec<(PeId, u32)>,
     /// Victims' pre-movement placements (for the displacement feature).
@@ -247,7 +247,7 @@ struct MoveBuffers {
 
 /// What the movement loop decided before the accept test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MovementVerdict {
+pub(crate) enum MovementVerdict {
     /// Routed and ready for exact pricing (always, with no filter).
     Admitted,
     /// Predictor-rejected before routing; the caller rolls back without
@@ -468,7 +468,7 @@ fn anneal_inner<'a, P: SaPolicy>(
 /// after placement and before routing, and consumes no RNG, so the
 /// filter-off RNG stream is bit-identical to the pre-filter annealer.
 #[allow(clippy::too_many_arguments)]
-fn movement<P: SaPolicy>(
+pub(crate) fn movement<P: SaPolicy>(
     policy: &P,
     mapping: &mut Mapping<'_>,
     params: &SaParams,
@@ -555,7 +555,7 @@ fn movement<P: SaPolicy>(
 
 /// Places the nodes in `bufs.nodes` in policy order, consulting the
 /// policy for each slot. The caller fills `bufs.nodes`.
-fn place_nodes<P: SaPolicy>(
+pub(crate) fn place_nodes<P: SaPolicy>(
     policy: &P,
     mapping: &mut Mapping<'_>,
     bufs: &mut MoveBuffers,
@@ -581,7 +581,11 @@ fn place_nodes<P: SaPolicy>(
 /// policy order. Failures are left unrouted for the cost function.
 /// Returns the number of `route_edge` invocations — the unit of router
 /// work the movement filter exists to save.
-fn route_all<P: SaPolicy>(policy: &P, mapping: &mut Mapping<'_>, bufs: &mut MoveBuffers) -> u64 {
+pub(crate) fn route_all<P: SaPolicy>(
+    policy: &P,
+    mapping: &mut Mapping<'_>,
+    bufs: &mut MoveBuffers,
+) -> u64 {
     mapping.unrouted_edges_into(&mut bufs.edges);
     policy.order_edges(mapping, &mut bufs.edges);
     let mut invocations = 0;
@@ -763,6 +767,7 @@ pub struct SaMapper {
     seed: u64,
     name: String,
     portfolio: crate::portfolio::PortfolioParams,
+    strategy: crate::strategy::StrategySpec,
     sink: EventSink,
     filter: Option<std::sync::Arc<dyn MovementScorer>>,
 }
@@ -781,9 +786,18 @@ impl SaMapper {
             seed,
             name,
             portfolio: crate::portfolio::PortfolioParams::sequential(),
+            strategy: crate::strategy::StrategySpec::default(),
             sink: EventSink::null(),
             filter: None,
         }
+    }
+
+    /// Selects the portfolio's lane mix (see [`crate::StrategySpec`]).
+    /// The default, `Homogeneous(Sa)`, is byte-identical to the
+    /// pre-strategy mapper for every configuration.
+    pub fn with_strategy(mut self, strategy: crate::strategy::StrategySpec) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Runs a portfolio of independently-seeded chains per II and keeps the
@@ -828,7 +842,8 @@ impl IiMapper for SaMapper {
         acc: &'a Accelerator,
         ii: u32,
     ) -> Option<Mapping<'a>> {
-        crate::portfolio::anneal_portfolio(
+        crate::strategy::run_spec(
+            &self.strategy,
             |_chain| VanillaPolicy,
             &self.params,
             &self.portfolio,

@@ -1,0 +1,505 @@
+//! The [`SearchStrategy`] contract: heterogeneous mapper lanes raced by
+//! one deterministic portfolio.
+//!
+//! The portfolio historically raced N seeds of the same annealer. This
+//! module generalizes it: a *lane* is any search algorithm implementing
+//! [`SearchStrategy`] over the shared substrate — [`Mapping`] (placement
+//! + routing with the transaction journal), the Dijkstra router, the
+//! `lisa-events` sink, and the optional movement filter. Three lanes
+//! exist today:
+//!
+//! * [`SaStrategy`] — the existing annealer, byte-identical to the
+//!   pre-refactor portfolio for the default configuration;
+//! * [`crate::evolutionary::EvolutionaryStrategy`] — a deterministic
+//!   population mapper whose crossover exchanges placement regions via
+//!   the transaction journal and whose mutation reuses the annealer's
+//!   movement generator;
+//! * [`crate::constructive::ConstructiveStrategy`] — a LOCAL-style
+//!   low-complexity one-pass mapper that often finishes easy kernels
+//!   outright at a tiny fraction of the router work.
+//!
+//! **Winner rule.** Constructive lanes run first, inline, in lane-index
+//! order: they are deterministic and orders of magnitude cheaper than a
+//! stochastic lane, so a complete constructive mapping wins outright
+//! before any thread spawns. The remaining (stochastic) lanes are then
+//! raced under [`par_map`]; every lane is joined before judging and the
+//! winner is the lowest-cost complete mapping, ties broken by lane
+//! index. Lane seeds derive from the lane *index* (not the thread), so
+//! the outcome is invariant to thread count and scheduling — the same
+//! determinism contract the homogeneous portfolio always had.
+
+use std::fmt;
+
+use lisa_arch::Accelerator;
+use lisa_dfg::Dfg;
+use lisa_events::{EventSink, PipelineEvent};
+use lisa_rng::Rng;
+
+use crate::constructive::ConstructiveStrategy;
+use crate::evolutionary::EvolutionaryStrategy;
+use crate::portfolio::{chain_seed, par_map, PortfolioParams};
+use crate::predictor::{FilterStats, MovementScorer};
+use crate::sa::{anneal, mapping_cost, SaParams, SaPolicy};
+use crate::Mapping;
+
+/// Which search algorithm runs in one portfolio lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneKind {
+    /// Simulated annealing (the historical portfolio lane).
+    Sa,
+    /// Deterministic population search with journal crossover.
+    Evolutionary,
+    /// LOCAL-style one-pass constructive mapping.
+    Constructive,
+}
+
+impl LaneKind {
+    /// The stable lane name used in specs, events, and bench metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            LaneKind::Sa => "sa",
+            LaneKind::Evolutionary => "evolutionary",
+            LaneKind::Constructive => "constructive",
+        }
+    }
+
+    fn parse_one(name: &str) -> Option<LaneKind> {
+        match name {
+            "sa" => Some(LaneKind::Sa),
+            "evolutionary" | "evo" => Some(LaneKind::Evolutionary),
+            "constructive" => Some(LaneKind::Constructive),
+            _ => None,
+        }
+    }
+}
+
+/// The lane mix of the `mixed` strategy alias: a constructive scout, the
+/// annealer, and the evolutionary lane.
+pub const MIXED_LANES: [LaneKind; 3] =
+    [LaneKind::Constructive, LaneKind::Sa, LaneKind::Evolutionary];
+
+/// How the portfolio's lanes are populated for each II attempt.
+///
+/// Parsed from `lisa-map --strategy`, the `strategy` field of a
+/// `lisa-request v1` document, and [`Display`](fmt::Display)ed back in
+/// canonical form (`parse` ∘ `to_string` is the identity on parsed
+/// specs, which is what the serve cache key relies on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategySpec {
+    /// Every portfolio chain runs the same lane kind. This is the
+    /// historical shape; `Homogeneous(Sa)` is the default and maps
+    /// byte-identically to the pre-strategy mapper.
+    Homogeneous(LaneKind),
+    /// An explicit lane list, raced in index order. The lane count
+    /// overrides the portfolio's chain count.
+    Lanes(Vec<LaneKind>),
+}
+
+impl Default for StrategySpec {
+    fn default() -> Self {
+        StrategySpec::Homogeneous(LaneKind::Sa)
+    }
+}
+
+impl fmt::Display for StrategySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategySpec::Homogeneous(kind) => f.write_str(kind.name()),
+            StrategySpec::Lanes(lanes) => {
+                for (i, lane) in lanes.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    f.write_str(lane.name())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A strategy spec that did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStrategyError {
+    spec: String,
+}
+
+impl fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown strategy `{}` (expected sa, evolutionary, constructive, \
+             mixed, or a comma-separated lane list)",
+            self.spec
+        )
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl StrategySpec {
+    /// Parses a strategy spec: a single lane name (`sa`, `evolutionary`
+    /// / `evo`, `constructive`), the `mixed` alias
+    /// (constructive,sa,evolutionary), or a comma-separated lane list.
+    /// A one-element list normalizes to [`StrategySpec::Homogeneous`],
+    /// so distinct spellings of the same mix canonicalize to one value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseStrategyError`] naming the unrecognized spec.
+    pub fn parse(spec: &str) -> Result<StrategySpec, ParseStrategyError> {
+        let trimmed = spec.trim();
+        if trimmed == "mixed" {
+            return Ok(StrategySpec::Lanes(MIXED_LANES.to_vec()));
+        }
+        let mut lanes = Vec::new();
+        for part in trimmed.split(',') {
+            match LaneKind::parse_one(part.trim()) {
+                Some(kind) => lanes.push(kind),
+                None => {
+                    return Err(ParseStrategyError {
+                        spec: spec.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(if lanes.len() == 1 {
+            StrategySpec::Homogeneous(lanes[0])
+        } else {
+            StrategySpec::Lanes(lanes)
+        })
+    }
+
+    /// The concrete lane list for a portfolio of `chains` chains.
+    /// Homogeneous specs replicate their kind across every chain —
+    /// except `Homogeneous(Constructive)`, which yields one lane: the
+    /// constructive mapper is deterministic, so duplicate lanes would be
+    /// identical work. Explicit lane lists are returned as written.
+    pub fn expand(&self, chains: usize) -> Vec<LaneKind> {
+        match self {
+            StrategySpec::Homogeneous(LaneKind::Constructive) => vec![LaneKind::Constructive],
+            StrategySpec::Homogeneous(kind) => vec![*kind; chains.max(1)],
+            StrategySpec::Lanes(lanes) => lanes.clone(),
+        }
+    }
+}
+
+/// One portfolio lane: a search algorithm over the shared mapping
+/// substrate.
+///
+/// Lanes **share** the problem statement (`dfg`, `acc`, `ii`), the
+/// [`Mapping`] state machine (placement + routing + transaction
+/// journal), the router, the event sink, and the optional movement
+/// filter. Lanes **own** their search trajectory: how the lane-derived
+/// seed drives it, what intermediate states it visits, and when it
+/// gives up. A lane must return `Some` only for *complete* mappings,
+/// must be a pure function of its arguments (determinism contract), and
+/// must emit a [`PipelineEvent::SaFilterSummary`] for its router-work
+/// counters when the sink is active so A/B measurements read every lane
+/// from the same stream.
+pub trait SearchStrategy: Sync {
+    /// The stable lane name (matches [`LaneKind::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Whether the lane is a deterministic, cheap constructive pass.
+    /// Constructive lanes run inline before the stochastic race and win
+    /// outright when complete (see the module docs' winner rule).
+    fn is_constructive(&self) -> bool {
+        false
+    }
+
+    /// Runs the lane to completion. `lane` is the lane index (tags
+    /// emitted events, like the portfolio chain index it generalizes);
+    /// `seed` is the lane-derived RNG seed — deterministic lanes ignore
+    /// it. Returns a complete mapping or `None`, plus the lane's
+    /// router-work counters.
+    fn run<'a>(
+        &self,
+        dfg: &'a Dfg,
+        acc: &'a Accelerator,
+        ii: u32,
+        lane: usize,
+        seed: u64,
+        sink: &EventSink,
+        filter: Option<&dyn MovementScorer>,
+    ) -> (Option<Mapping<'a>>, FilterStats);
+}
+
+/// The annealer as a portfolio lane. Carries the policy factory (fresh
+/// policy per lane — policies may hold per-run state) and runs exactly
+/// the code the homogeneous portfolio always ran, so an all-SA lane set
+/// is byte-identical to the pre-strategy mapper.
+pub struct SaStrategy<F> {
+    make_policy: F,
+    params: SaParams,
+}
+
+impl<F, P> SaStrategy<F>
+where
+    F: Fn(usize) -> P + Sync,
+    P: SaPolicy,
+{
+    /// A lane running the annealer with `params`, constructing its
+    /// policy through `make_policy(lane)`.
+    pub fn new(make_policy: F, params: SaParams) -> Self {
+        SaStrategy {
+            make_policy,
+            params,
+        }
+    }
+}
+
+impl<F, P> SearchStrategy for SaStrategy<F>
+where
+    F: Fn(usize) -> P + Sync,
+    P: SaPolicy,
+{
+    fn name(&self) -> &'static str {
+        "sa"
+    }
+
+    fn run<'a>(
+        &self,
+        dfg: &'a Dfg,
+        acc: &'a Accelerator,
+        ii: u32,
+        lane: usize,
+        seed: u64,
+        sink: &EventSink,
+        filter: Option<&dyn MovementScorer>,
+    ) -> (Option<Mapping<'a>>, FilterStats) {
+        let policy = (self.make_policy)(lane);
+        let mut rng = Rng::seed_from_u64(seed);
+        anneal(
+            &policy,
+            &self.params,
+            dfg,
+            acc,
+            ii,
+            &mut rng,
+            lane,
+            sink,
+            filter,
+        )
+    }
+}
+
+/// Races a heterogeneous lane set for one II and returns the winning
+/// mapping under the deterministic winner rule (module docs): complete
+/// constructive lanes win outright in lane order; otherwise the
+/// stochastic lanes are joined and judged by
+/// `(lowest cost, lowest lane index)`. Lane seeds derive from the lane
+/// index via [`chain_seed`], so `parallelism` is wall-clock-only.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn race_lanes<'a>(
+    lanes: &[&dyn SearchStrategy],
+    parallelism: usize,
+    dfg: &'a Dfg,
+    acc: &'a Accelerator,
+    ii: u32,
+    seed: u64,
+    sink: &EventSink,
+    filter: Option<&dyn MovementScorer>,
+) -> Option<Mapping<'a>> {
+    // Phase A: constructive lanes, inline, in lane order. First complete
+    // result short-circuits the whole race.
+    for (lane, strategy) in lanes.iter().enumerate() {
+        if !strategy.is_constructive() {
+            continue;
+        }
+        let lane_seed = chain_seed(seed, lane as u64, ii);
+        let (mapping, _stats) = strategy.run(dfg, acc, ii, lane, lane_seed, sink, filter);
+        if let Some(m) = mapping {
+            if sink.is_active() {
+                sink.emit(PipelineEvent::StrategyLaneWon {
+                    ii,
+                    lane,
+                    strategy: strategy.name(),
+                    cost: mapping_cost(&m),
+                });
+            }
+            return Some(m);
+        }
+    }
+
+    // Phase B: stochastic lanes race on the shared work distributor.
+    let stochastic: Vec<usize> = (0..lanes.len())
+        .filter(|&lane| !lanes[lane].is_constructive())
+        .collect();
+    let results = par_map(parallelism, stochastic, |_, lane| {
+        let lane_seed = chain_seed(seed, lane as u64, ii);
+        let (mapping, _stats) = lanes[lane].run(dfg, acc, ii, lane, lane_seed, sink, filter);
+        mapping.map(|m| (mapping_cost(&m), lane, m))
+    });
+    let mut best: Option<(f64, usize, Mapping<'a>)> = None;
+    for candidate in results.into_iter().flatten() {
+        match &best {
+            // Strict improvement only: earlier lanes win ties.
+            Some((cost, _, _)) if candidate.0 >= *cost => {}
+            _ => best = Some(candidate),
+        }
+    }
+    best.map(|(cost, lane, m)| {
+        if sink.is_active() {
+            sink.emit(PipelineEvent::StrategyLaneWon {
+                ii,
+                lane,
+                strategy: lanes[lane].name(),
+                cost,
+            });
+        }
+        m
+    })
+}
+
+/// Expands `spec` against the portfolio's chain count, instantiates one
+/// strategy per lane kind, and races them. This is the single entry
+/// point both mappers call; `Homogeneous(Sa)` reproduces the historical
+/// homogeneous annealing portfolio byte-for-byte.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_spec<'a, P, F>(
+    spec: &StrategySpec,
+    make_policy: F,
+    params: &SaParams,
+    portfolio: &PortfolioParams,
+    dfg: &'a Dfg,
+    acc: &'a Accelerator,
+    ii: u32,
+    seed: u64,
+    sink: &EventSink,
+    filter: Option<&dyn MovementScorer>,
+) -> Option<Mapping<'a>>
+where
+    P: SaPolicy,
+    F: Fn(usize) -> P + Sync,
+{
+    let kinds = spec.expand(portfolio.chains.max(1));
+    let sa = SaStrategy::new(make_policy, params.clone());
+    let evolutionary = EvolutionaryStrategy::new(params.clone());
+    let constructive = ConstructiveStrategy::new();
+    let lanes: Vec<&dyn SearchStrategy> = kinds
+        .iter()
+        .map(|kind| match kind {
+            LaneKind::Sa => &sa as &dyn SearchStrategy,
+            LaneKind::Evolutionary => &evolutionary as &dyn SearchStrategy,
+            LaneKind::Constructive => &constructive as &dyn SearchStrategy,
+        })
+        .collect();
+    race_lanes(
+        &lanes,
+        portfolio.parallelism,
+        dfg,
+        acc,
+        ii,
+        seed,
+        sink,
+        filter,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_every_lane_and_the_aliases() {
+        assert_eq!(
+            StrategySpec::parse("sa").unwrap(),
+            StrategySpec::Homogeneous(LaneKind::Sa)
+        );
+        assert_eq!(
+            StrategySpec::parse("evolutionary").unwrap(),
+            StrategySpec::Homogeneous(LaneKind::Evolutionary)
+        );
+        assert_eq!(
+            StrategySpec::parse("evo").unwrap(),
+            StrategySpec::Homogeneous(LaneKind::Evolutionary)
+        );
+        assert_eq!(
+            StrategySpec::parse("constructive").unwrap(),
+            StrategySpec::Homogeneous(LaneKind::Constructive)
+        );
+        assert_eq!(
+            StrategySpec::parse("mixed").unwrap(),
+            StrategySpec::Lanes(MIXED_LANES.to_vec())
+        );
+        assert_eq!(
+            StrategySpec::parse("constructive, sa ,evo").unwrap(),
+            StrategySpec::Lanes(vec![
+                LaneKind::Constructive,
+                LaneKind::Sa,
+                LaneKind::Evolutionary
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "annealing", "sa;evo", "sa,,evo", "mixed,sa"] {
+            assert!(StrategySpec::parse(bad).is_err(), "accepted `{bad}`");
+        }
+        let err = StrategySpec::parse("warp-drive").unwrap_err();
+        assert!(err.to_string().contains("warp-drive"));
+    }
+
+    #[test]
+    fn display_is_canonical_and_round_trips() {
+        for spec in [
+            "sa",
+            "evolutionary",
+            "constructive",
+            "mixed",
+            "sa,evolutionary",
+            "constructive,constructive,sa",
+        ] {
+            let parsed = StrategySpec::parse(spec).unwrap();
+            let canonical = parsed.to_string();
+            assert_eq!(
+                StrategySpec::parse(&canonical).unwrap(),
+                parsed,
+                "`{spec}` -> `{canonical}` did not round-trip"
+            );
+            // Canonical form is a fixpoint.
+            assert_eq!(
+                StrategySpec::parse(&canonical).unwrap().to_string(),
+                canonical
+            );
+        }
+        // Alias spellings collapse to one canonical text (one cache key).
+        assert_eq!(
+            StrategySpec::parse("mixed").unwrap().to_string(),
+            "constructive,sa,evolutionary"
+        );
+        assert_eq!(
+            StrategySpec::parse("evo").unwrap().to_string(),
+            "evolutionary"
+        );
+        // A one-element list is the homogeneous spec.
+        assert_eq!(StrategySpec::parse("sa,").is_err(), true);
+        assert_eq!(
+            StrategySpec::parse(" sa ").unwrap().to_string(),
+            StrategySpec::default().to_string()
+        );
+    }
+
+    #[test]
+    fn expand_replicates_homogeneous_and_keeps_lane_lists() {
+        assert_eq!(
+            StrategySpec::Homogeneous(LaneKind::Sa).expand(3),
+            vec![LaneKind::Sa; 3]
+        );
+        assert_eq!(
+            StrategySpec::Homogeneous(LaneKind::Evolutionary).expand(2),
+            vec![LaneKind::Evolutionary; 2]
+        );
+        // Deterministic lane: duplicates would be identical work.
+        assert_eq!(
+            StrategySpec::Homogeneous(LaneKind::Constructive).expand(4),
+            vec![LaneKind::Constructive]
+        );
+        let lanes = vec![LaneKind::Constructive, LaneKind::Sa];
+        assert_eq!(StrategySpec::Lanes(lanes.clone()).expand(7), lanes);
+        // Chain floor of 1.
+        assert_eq!(StrategySpec::default().expand(0), vec![LaneKind::Sa]);
+    }
+}

@@ -343,6 +343,7 @@ impl ServeEngine {
             &acc,
             req.seed,
             req.max_ii,
+            &req.strategy,
             self.config.parallelism,
         );
         match &mapping {
@@ -487,6 +488,7 @@ mod tests {
             accelerator: "not-a-fabric".to_string(),
             seed: 1,
             max_ii: 4,
+            strategy: Default::default(),
             dfg: lisa_dfg::polybench::kernel("gemm").unwrap(),
         };
         let (body, disposition) = engine.handle(&req.canonical_text());

@@ -37,10 +37,15 @@ fn registry() -> ModelRegistry {
 }
 
 fn gemm_request() -> String {
+    gemm_request_with_strategy("sa")
+}
+
+fn gemm_request_with_strategy(spec: &str) -> String {
     MapRequest {
         accelerator: "4x4".to_string(),
         seed: 2022,
         max_ii: 8,
+        strategy: lisa_mapper::StrategySpec::parse(spec).unwrap(),
         dfg: polybench::kernel("gemm").unwrap(),
     }
     .canonical_text()
@@ -151,4 +156,62 @@ fn concurrent_identical_misses_compute_once() {
         );
         assert_eq!(**body, *results[0].0, "all callers get the same bytes");
     }
+}
+
+#[test]
+fn strategy_selection_separates_keys_and_hits_across_tiers_and_restarts() {
+    let dir = std::env::temp_dir().join("lisa_serve_strategy_soundness");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    // Requests differing only in strategy must have distinct cache keys…
+    let sa = gemm_request_with_strategy("sa");
+    let mixed = gemm_request_with_strategy("mixed");
+    let constructive = gemm_request_with_strategy("constructive");
+    let keys = [
+        MapRequest::parse(&sa).unwrap().cache_key(),
+        MapRequest::parse(&mixed).unwrap().cache_key(),
+        MapRequest::parse(&constructive).unwrap().cache_key(),
+    ];
+    let mut unique = keys.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), keys.len(), "strategy did not separate keys");
+    // …while alias spellings of the same mix share one key (one cached
+    // computation, not two).
+    assert_eq!(
+        MapRequest::parse(&mixed).unwrap().cache_key(),
+        MapRequest::parse(&gemm_request_with_strategy("constructive,sa,evolutionary"))
+            .unwrap()
+            .cache_key()
+    );
+
+    // Each strategy computes once and then hits the memory tier with
+    // byte-identical bodies.
+    let first_daemon = engine(config.clone());
+    let mut firsts = Vec::new();
+    for request in [&sa, &mixed, &constructive] {
+        let (body, d) = first_daemon.handle(request);
+        assert_eq!(d, Disposition::Computed);
+        assert!(body.contains("status ok"), "body was {body}");
+        let (again, d) = first_daemon.handle(request);
+        assert_eq!(d, Disposition::HitMemory);
+        assert_eq!(*body, *again, "memory hit must be byte-identical");
+        firsts.push(body);
+    }
+    drop(first_daemon);
+
+    // A restarted daemon answers every strategy from the disk tier,
+    // byte-identically, without annealing.
+    let second_daemon = engine(config);
+    for (request, first) in [&sa, &mixed, &constructive].into_iter().zip(&firsts) {
+        let (body, d) = second_daemon.handle(request);
+        assert_eq!(d, Disposition::HitDisk);
+        assert_eq!(**first, *body, "disk hit must be byte-identical");
+    }
+    assert_eq!(second_daemon.stats().anneals, 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }

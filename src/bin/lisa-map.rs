@@ -4,6 +4,7 @@
 //! ```text
 //! lisa-map <kernel> [--arch <key>] [--mapper lisa|sa|greedy|ilp]
 //!          [--model <path>] [--unroll <k>] [--max-ii <n>] [--seed <n>]
+//!          [--strategy sa|evolutionary|constructive|mixed|<lane,lane,...>]
 //!          [--predictor <path>|off] [--capture-movements <path>]
 //!          [--verbose] [--show]
 //!
@@ -58,7 +59,7 @@ use lisa::mapper::display::render;
 use lisa::mapper::exact::{ExactMapper, ExactParams};
 use lisa::mapper::greedy::GreedyMapper;
 use lisa::mapper::schedule::IiSearch;
-use lisa::mapper::{FilterStats, SaMapper, SaParams};
+use lisa::mapper::{FilterStats, SaMapper, SaParams, StrategySpec};
 
 struct Options {
     kernel: String,
@@ -68,6 +69,7 @@ struct Options {
     unroll: u32,
     max_ii: u32,
     seed: u64,
+    strategy: StrategySpec,
     predictor: Option<PathBuf>,
     capture: Option<PathBuf>,
     verbose: bool,
@@ -152,6 +154,7 @@ fn parse_args() -> Result<Options, String> {
         unroll: 1,
         max_ii: 16,
         seed: 2022,
+        strategy: StrategySpec::default(),
         predictor: None,
         capture: None,
         verbose: false,
@@ -180,6 +183,10 @@ fn parse_args() -> Result<Options, String> {
                 opts.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--strategy" => {
+                opts.strategy = StrategySpec::parse(&value("--strategy")?)
+                    .map_err(|e| format!("bad --strategy: {e}"))?
             }
             "--predictor" => {
                 let v = value("--predictor")?;
@@ -313,6 +320,7 @@ fn usage() -> String {
     "usage: lisa-map <kernel|core:<kernel>|rand:<seed>> \
      [--arch 3x3|4x4|4x4-lr|4x4-lm|8x8|systolic|<RxC>] \
      [--mapper lisa|sa|greedy|ilp] [--model path] [--unroll k] [--max-ii n] [--seed n] \
+     [--strategy sa|evolutionary|constructive|mixed|lane,lane,...] \
      [--predictor path|off] [--capture-movements path] [--verbose] [--show]\n\
      \x20      lisa-map train --help             for offline label training\n\
      \x20      lisa-map train-predictor --help   for movement-predictor training"
@@ -366,10 +374,16 @@ fn build_dfg(spec: &str, factor: u32) -> Result<Dfg, String> {
 }
 
 /// The quick-scale config the `lisa` mapper trains (and imports) with.
-fn mapping_config(acc: &Accelerator, seed: u64, predictor: Option<PathBuf>) -> LisaConfig {
+fn mapping_config(
+    acc: &Accelerator,
+    seed: u64,
+    strategy: StrategySpec,
+    predictor: Option<PathBuf>,
+) -> LisaConfig {
     let mut config = LisaConfig::fast();
     config.training_dfgs = 24;
     config.seed = seed;
+    config.strategy = strategy;
     config.predictor = predictor;
     if acc.is_spatial_only() {
         config = config.for_systolic();
@@ -578,13 +592,22 @@ fn main() {
     if opts.predictor.is_some() && matches!(opts.mapper.as_str(), "greedy" | "ilp") {
         eprintln!("note: --predictor only gates the annealing mappers (lisa, sa); ignored");
     }
+    if opts.strategy != StrategySpec::default() && matches!(opts.mapper.as_str(), "greedy" | "ilp")
+    {
+        eprintln!("note: --strategy only selects portfolio lanes (lisa, sa); ignored");
+    }
 
     let search = IiSearch {
         max_ii: Some(opts.max_ii),
     };
     let (outcome, mapping) = match opts.mapper.as_str() {
         "lisa" => {
-            let config = mapping_config(&acc, opts.seed, opts.predictor.clone());
+            let config = mapping_config(
+                &acc,
+                opts.seed,
+                opts.strategy.clone(),
+                opts.predictor.clone(),
+            );
             let mut lisa = if let Some(path) = &opts.model {
                 match load_model(path, &acc, &config) {
                     Ok(l) => l,
@@ -615,7 +638,9 @@ fn main() {
             lisa.map_capped(&dfg, &acc, opts.max_ii)
         }
         "sa" => {
-            let mut sa = SaMapper::new(SaParams::paper(), opts.seed).with_observer(sink.clone());
+            let mut sa = SaMapper::new(SaParams::paper(), opts.seed)
+                .with_strategy(opts.strategy.clone())
+                .with_observer(sink.clone());
             if let Some(path) = &opts.predictor {
                 match load_predictor(path) {
                     Ok(p) => {

@@ -8,7 +8,7 @@
 //!            [--events <path>] [--verbose]
 //!
 //! lisa-serve client [--connect <addr>] [--kernel <spec>]
-//!            [--arch <key>] [--seed <n>] [--max-ii <n>]
+//!            [--arch <key>] [--seed <n>] [--max-ii <n>] [--strategy <spec>]
 //!            [--stats] [--shutdown]
 //! ```
 //!
@@ -58,6 +58,7 @@ struct ClientOptions {
     arch: String,
     seed: u64,
     max_ii: u32,
+    strategy: lisa::mapper::StrategySpec,
     stats: bool,
     shutdown: bool,
 }
@@ -67,7 +68,8 @@ fn usage() -> String {
      [--port-file path] [--cache-dir dir] [--cache-mem n] [--workers n] [--queue n] \
      [--parallelism n] [--events path] [--verbose]\n\
      \x20      lisa-serve client [--connect addr] [--kernel spec] [--arch key] [--seed n] \
-     [--max-ii n] [--stats] [--shutdown]"
+     [--max-ii n] [--strategy sa|evolutionary|constructive|mixed|lane,lane,...] \
+     [--stats] [--shutdown]"
         .to_string()
 }
 
@@ -138,6 +140,7 @@ fn parse_client_args() -> Result<ClientOptions, String> {
         arch: "4x4".to_string(),
         seed: 2022,
         max_ii: 16,
+        strategy: Default::default(),
         stats: false,
         shutdown: false,
     };
@@ -159,6 +162,10 @@ fn parse_client_args() -> Result<ClientOptions, String> {
                 opts.max_ii = value("--max-ii")?
                     .parse()
                     .map_err(|e| format!("bad --max-ii: {e}"))?
+            }
+            "--strategy" => {
+                opts.strategy = lisa::mapper::StrategySpec::parse(&value("--strategy")?)
+                    .map_err(|e| format!("bad --strategy: {e}"))?
             }
             "--stats" => opts.stats = true,
             "--shutdown" => opts.shutdown = true,
@@ -265,6 +272,7 @@ fn run_client(opts: ClientOptions) -> Result<(), String> {
             accelerator: opts.arch.clone(),
             seed: opts.seed,
             max_ii: opts.max_ii,
+            strategy: opts.strategy.clone(),
             dfg: build_dfg(spec)?,
         };
         let body = exchange(&mut conn, request.canonical_text().as_bytes())?;
